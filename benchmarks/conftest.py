@@ -1,0 +1,16 @@
+"""Shared benchmark configuration.
+
+Every benchmark regenerates one paper artifact and asserts the paper's
+qualitative shape (who wins, by roughly what factor, where crossovers
+fall).  Real-training benchmarks run at the ``tiny`` scale preset and are
+executed once per session (``pedantic`` mode) since a training run is not
+a microbenchmark.
+"""
+
+import pytest
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Benchmark a heavyweight experiment exactly once."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs,
+                              rounds=1, iterations=1)

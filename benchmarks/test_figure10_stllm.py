@@ -1,0 +1,52 @@
+"""Benchmark F10 — Figure 10: ST-LLM distributed-index-batching scaling."""
+
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.experiments.figure10 import run_figure10, run_figure10_real
+
+
+@pytest.fixture(scope="module")
+def points():
+    return run_figure10()
+
+
+def test_figure10(benchmark):
+    fresh = benchmark(run_figure10)
+    test_speedups_match_paper(fresh)
+    test_near_linear_scaling(fresh)
+    test_preprocessing_negligible(fresh)
+
+
+def test_speedups_match_paper(points):
+    """Paper: 3.92x with 4 GPUs, 30.01x with 32 GPUs vs single-GPU
+    index-batching."""
+    by = {p.gpus: p for p in points}
+    s4 = by[1].total_minutes / by[4].total_minutes
+    s32 = by[1].total_minutes / by[32].total_minutes
+    assert s4 == pytest.approx(3.92, rel=0.15)
+    assert s32 == pytest.approx(30.01, rel=0.2)
+
+
+def test_near_linear_scaling(points):
+    """Paper: 'the overall workflow demonstrates near-linear scaling'."""
+    by = {p.gpus: p for p in points}
+    for g in (4, 8, 16, 32):
+        efficiency = (by[1].total_minutes / by[g].total_minutes) / g
+        assert efficiency > 0.75
+
+
+def test_preprocessing_negligible(points):
+    """Paper: preprocessing at most 1.35 s on PeMS-BAY."""
+    for p in points:
+        assert p.preprocess_seconds < 2.0
+
+
+def test_stllm_actually_trains_distributed(benchmark):
+    """Real scaled-down ST-LLM under distributed-index-batching."""
+    results = run_once(benchmark, run_figure10_real, scale="tiny", seed=0,
+                       gpu_counts=(1, 4))
+    for r in results:
+        assert 0 < r.best_val_mae < 100
+    # Both world sizes converge to working models.
+    assert all(r.final_train_loss < 2.0 for r in results)

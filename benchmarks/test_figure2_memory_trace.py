@@ -1,0 +1,31 @@
+"""Benchmark F2 — Figure 2: memory traces and OOM of DCRNN / PGT-DCRNN."""
+
+from repro.experiments.figure2 import run_figure2
+from repro.utils.sizes import GB
+
+
+def test_figure2(benchmark):
+    traces = benchmark(run_figure2)
+    by_key = {(t.model, t.dataset): t for t in traces}
+
+    # PeMS-All-LA fits on a 512 GB node for both implementations...
+    assert not by_key[("dcrnn", "pems-all-la")].oom
+    assert not by_key[("pgt-dcrnn", "pems-all-la")].oom
+    # ...but full PeMS crashes for both (the paper's headline OOM).
+    assert by_key[("dcrnn", "pems")].oom
+    assert by_key[("pgt-dcrnn", "pems")].oom
+
+    # DCRNN uses substantially more memory than PGT-DCRNN (Table 2 order).
+    assert (by_key[("dcrnn", "pems-all-la")].peak
+            > by_key[("pgt-dcrnn", "pems-all-la")].peak + 50 * GB)
+
+    # The OOM happens close to the 512 GB line, as Fig. 2 shows.
+    for t in traces:
+        if t.oom:
+            assert t.peak > 350 * GB
+        assert t.peak <= 512 * GB
+
+    # Traces are non-trivial usage curves (OOM runs end early).
+    for t in traces:
+        assert len(t.trace) >= 4
+        assert max(u for _, u in t.trace) == t.peak

@@ -1,0 +1,21 @@
+"""Benchmark F3 — Figure 3: stage-by-stage data growth (PeMS-All-LA)."""
+
+import pytest
+
+from repro.experiments.figure3 import run_figure3
+from repro.utils.sizes import GB
+
+
+def test_figure3(benchmark):
+    stages = benchmark(run_figure3)
+
+    # The figure's four bars: 2.12 -> 4.25 -> ~51 -> 102.08 GB.
+    assert stages["raw"] / GB == pytest.approx(2.12, rel=0.01)
+    assert stages["stage1_time_feature"] == 2 * stages["raw"]
+    assert stages["stage2_swa"] / GB == pytest.approx(51.04, rel=0.01)
+    assert stages["stage3_xy_split"] / GB == pytest.approx(102.08, rel=0.005)
+
+    # "The majority of the postprocessed data is redundant": the final
+    # size is tens of times the information content.
+    assert stages["stage3_xy_split"] / stages["stage1_time_feature"] == \
+        pytest.approx(24.0, rel=0.02)

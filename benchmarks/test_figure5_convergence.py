@@ -1,0 +1,39 @@
+"""Benchmark F5 — Figure 5: validation-MAE convergence curves.
+
+Baseline and index-batching runs must produce *identical* convergence
+curves (they consume the same snapshots with the same seeds), and the
+curves must actually converge.
+"""
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.experiments.table3 import run_table3
+
+
+@pytest.fixture(scope="module")
+def results():
+    return run_table3(scale="tiny", seed=3, datasets=("pems-bay",))
+
+
+def test_figure5_curves(benchmark):
+    fresh = run_once(benchmark, run_table3, scale="tiny", seed=4,
+                     datasets=("pems-bay",))
+    test_curves_identical(fresh)
+    test_curves_converge(fresh)
+
+
+def test_curves_identical(results):
+    base = next(r for r in results if r.mode == "base")
+    index = next(r for r in results if r.mode == "index")
+    np.testing.assert_allclose(base.val_curve, index.val_curve, rtol=1e-6)
+
+
+def test_curves_converge(results):
+    for r in results:
+        curve = r.val_curve
+        assert len(curve) >= 3
+        # Validation MAE improves over training.
+        assert min(curve[2:]) < curve[0]
+        assert all(np.isfinite(v) for v in curve)

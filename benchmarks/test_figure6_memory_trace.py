@@ -1,0 +1,30 @@
+"""Benchmark F6 — Figure 6: PeMS memory traces (standard OOM, index spike,
+GPU-index low plateau)."""
+
+from repro.experiments.table4 import run_figure6
+from repro.utils.sizes import GB
+
+
+def test_figure6(benchmark):
+    traces = benchmark(run_figure6)
+    by = {t.implementation: t for t in traces}
+
+    # Standard PGT crashes; both index variants survive.
+    assert by["pgt-standard"].oom
+    assert not by["pgt-index-batching"].oom
+    assert not by["pgt-gpu-index-batching"].oom
+
+    # Paper numbers: index spikes to ~46 GB then settles ~18-20 GB;
+    # GPU-index keeps the host below ~20 GB throughout.
+    idx = by["pgt-index-batching"]
+    assert 40 * GB < idx.peak < 50 * GB
+    final_usage = idx.trace[-1][1]
+    assert 17 * GB < final_usage < 22 * GB
+    assert idx.peak > 2 * final_usage  # the preprocessing spike
+
+    gpu = by["pgt-gpu-index-batching"]
+    assert gpu.peak < 22 * GB
+    assert gpu.peak < 0.5 * idx.peak   # 60.3% CPU reduction claim
+
+    # Ordering of the three curves matches the figure.
+    assert by["pgt-standard"].peak > idx.peak > gpu.peak

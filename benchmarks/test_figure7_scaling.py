@@ -1,0 +1,69 @@
+"""Benchmark F7 — Figure 7: the 4-128 GPU scaling study on PeMS."""
+
+import pytest
+
+from repro.experiments.figure7 import run_figure7
+
+
+@pytest.fixture(scope="module")
+def result():
+    return run_figure7()
+
+
+def test_figure7(benchmark):
+    fresh = benchmark(run_figure7)
+    for check in (test_speedup_vs_ddp_endpoints, test_speedup_vs_single_gpu,
+                  test_near_linear_to_32_knee_after,
+                  test_ddp_becomes_communication_bound,
+                  test_dist_index_communication_negligible,
+                  test_ddp_preprocessing_stable):
+        check(fresh)
+
+
+def test_speedup_vs_ddp_endpoints(result):
+    """Paper: 2.16x at 4 GPUs and 11.78x at 128 GPUs."""
+    assert result.speedup_vs_ddp(4) == pytest.approx(2.16, rel=0.15)
+    assert result.speedup_vs_ddp(128) == pytest.approx(11.78, rel=0.25)
+    # Monotonically widening gap.
+    speedups = [result.speedup_vs_ddp(g) for g in (4, 8, 16, 32, 64, 128)]
+    assert speedups == sorted(speedups)
+
+
+def test_speedup_vs_single_gpu(result):
+    """Paper: up to 79.41x total speedup with 128 GPUs."""
+    assert result.speedup_vs_single(128) == pytest.approx(79.41, rel=0.2)
+
+
+def test_near_linear_to_32_knee_after(result):
+    """Paper §5.3.1: near-linear at 4-32 GPUs, sublinear at 64/128."""
+    base = result.by("dist-index")[4].total_minutes
+    def efficiency(g):
+        return (base / result.by("dist-index")[g].total_minutes) / (g / 4)
+    assert efficiency(8) > 0.9
+    assert efficiency(16) > 0.85
+    assert efficiency(32) > 0.75
+    assert efficiency(128) < efficiency(32)  # the knee
+
+
+def test_ddp_becomes_communication_bound(result):
+    """Fig. 7 left: the comm segment dominates DDP at scale."""
+    for g in (16, 32, 64, 128):
+        p = result.by("baseline-ddp")[g]
+        assert p.comm_minutes > p.compute_minutes
+
+
+def test_dist_index_communication_negligible(result):
+    """Fig. 7 right: dist-index bars are essentially all compute."""
+    for g in (4, 8, 16, 32):
+        p = result.by("dist-index")[g]
+        assert p.comm_minutes < 0.2 * p.total_minutes
+
+
+def test_ddp_preprocessing_stable(result):
+    """Paper: DDP preprocessing stays flat (max ~305 s at 128 workers)."""
+    pre = [result.by("baseline-ddp")[g].preprocess_seconds
+           for g in (4, 8, 16, 32, 64, 128)]
+    assert max(pre) < 1.5 * min(pre)
+    # Index preprocessing is tens of seconds, not hundreds.
+    for g in (4, 32, 128):
+        assert result.by("dist-index")[g].preprocess_seconds < 60

@@ -1,0 +1,64 @@
+"""Benchmark F9 — Figure 9: generalized-distributed-index-batching vs
+batch-shuffling DDP (epoch time, comm split, aggregate memory)."""
+
+import pytest
+
+from repro.experiments.figure9 import run_figure9
+
+
+@pytest.fixture(scope="module")
+def result():
+    return run_figure9()
+
+
+def test_figure9(benchmark):
+    fresh = benchmark(run_figure9)
+    for check in (test_ddp_epoch_matches_paper_start,
+                  test_index_beats_ddp_everywhere,
+                  test_index_cuts_communication_volume,
+                  test_ddp_comm_dominated_index_compute_dominated,
+                  test_aggregate_memory):
+        check(fresh)
+
+
+def test_ddp_epoch_matches_paper_start(result):
+    """Paper: baseline epoch 303 s at 4 GPUs, improving only to 231 s."""
+    assert result.by("ddp")[4].epoch_seconds == pytest.approx(303, rel=0.1)
+    # DDP improves far less than linearly (communication-bound).
+    improvement = (result.by("ddp")[4].epoch_seconds
+                   / result.by("ddp")[128].epoch_seconds)
+    assert improvement < 32 / 4  # nowhere near linear
+
+
+def test_index_beats_ddp_everywhere(result):
+    """Paper: generalized-index outperforms DDP by up to 2.28x; our
+    simulator reproduces >= 1.5x at 4 GPUs, growing with scale (see
+    EXPERIMENTS.md for the divergence at 64/128)."""
+    for g in (4, 8, 16, 32, 64, 128):
+        assert result.speedup(g) > 1.5
+    assert result.speedup(4) == pytest.approx(2.28, rel=0.35)
+
+
+def test_index_cuts_communication_volume(result):
+    """The figure's caption: index lowers comm cost by decreasing volume
+    (~2*horizon less data per batch)."""
+    for g in (4, 16, 64):
+        ddp = result.by("ddp")[g]
+        idx = result.by("index")[g]
+        assert ddp.comm_seconds > 8 * idx.comm_seconds
+
+
+def test_ddp_comm_dominated_index_compute_dominated(result):
+    ddp4 = result.by("ddp")[4]
+    idx4 = result.by("index")[4]
+    assert ddp4.comm_seconds > 0.3 * ddp4.epoch_seconds
+    assert idx4.comm_seconds < 0.2 * idx4.epoch_seconds
+
+
+def test_aggregate_memory(result):
+    """Paper: 53.28 GB (index) vs 479.66 GB (DDP) with four workers —
+    a ~9x reduction."""
+    ratio = result.ddp_total_memory_gb / result.index_total_memory_gb
+    assert 6 < ratio < 15
+    assert result.ddp_total_memory_gb == pytest.approx(479.66, rel=0.15)
+    assert result.index_total_memory_gb == pytest.approx(53.28, rel=0.35)

@@ -1,0 +1,28 @@
+"""Benchmark T2 — Table 2: single-epoch DCRNN vs PGT-DCRNN on PeMS-All-LA."""
+
+import pytest
+
+from repro.experiments.table2 import run_table2
+
+
+def test_table2(benchmark):
+    rows = benchmark(run_table2)
+    by_model = {r.model: r for r in rows}
+    dcrnn, pgt = by_model["dcrnn"], by_model["pgt-dcrnn"]
+
+    # Paper: 68.48 min vs 4.48 min (15.3x); we assert a 10-25x gap with
+    # absolute values within ~20% of the paper's.
+    assert dcrnn.runtime_minutes == pytest.approx(68.48, rel=0.2)
+    assert pgt.runtime_minutes == pytest.approx(4.48, rel=0.25)
+    ratio = dcrnn.runtime_minutes / pgt.runtime_minutes
+    assert 10 < ratio < 25
+
+    # Memory ordering and rough magnitudes (371.25 / 259.84 GB system,
+    # 24.84 / 1.58 GB GPU).
+    assert dcrnn.peak_system_gb > pgt.peak_system_gb
+    assert 250 < dcrnn.peak_system_gb < 420
+    assert 180 < pgt.peak_system_gb < 300
+    assert dcrnn.peak_gpu_gb == pytest.approx(24.84, rel=0.2)
+    assert pgt.peak_gpu_gb == pytest.approx(1.58, rel=0.25)
+    # Both fit the node (PeMS-All-LA does not OOM).
+    assert dcrnn.peak_system_gb < 512 and dcrnn.peak_gpu_gb < 40

@@ -1,0 +1,26 @@
+"""Benchmark T4 — Table 4: index vs GPU-index batching on full PeMS."""
+
+import pytest
+
+from repro.experiments.table4 import run_table4
+
+
+def test_table4(benchmark):
+    rows = benchmark(run_table4)
+    by = {r.implementation: r for r in rows}
+    idx, gpu = by["index-batching"], by["gpu-index-batching"]
+
+    # Paper: 333.58 min vs 290.65 min (12.87% reduction).
+    assert idx.runtime_minutes == pytest.approx(333.58, rel=0.05)
+    assert gpu.runtime_minutes == pytest.approx(290.65, rel=0.05)
+    saving = 1 - gpu.runtime_minutes / idx.runtime_minutes
+    assert 0.08 < saving < 0.20
+
+    # Paper: CPU 45.84 -> 18.20 GB (60.3% reduction); GPU 5.50 -> 18.60 GB.
+    assert idx.cpu_peak_gb == pytest.approx(45.84, rel=0.1)
+    assert gpu.cpu_peak_gb == pytest.approx(18.20, rel=0.15)
+    cpu_saving = 1 - gpu.cpu_peak_gb / idx.cpu_peak_gb
+    assert 0.45 < cpu_saving < 0.70
+
+    assert gpu.gpu_peak_gb > 3 * idx.gpu_peak_gb  # dataset now on device
+    assert gpu.gpu_peak_gb < 40                   # still fits an A100

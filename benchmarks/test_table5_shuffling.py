@@ -1,0 +1,32 @@
+"""Benchmark T5 — Table 5: global vs local batch shuffling accuracy."""
+
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.experiments.table5 import run_table5
+
+
+@pytest.fixture(scope="module")
+def results():
+    return run_table5(scale="tiny", seed=0, gpu_counts=(4, 8, 16))
+
+
+def test_table5_training(benchmark):
+    fresh = run_once(benchmark, run_table5, scale="tiny", seed=0,
+                     gpu_counts=(4, 8, 16))
+    test_batch_shuffling_matches_global(fresh)
+    test_all_runs_converge(fresh)
+
+
+def test_batch_shuffling_matches_global(results):
+    """Paper: local batch-level shuffling obtains accuracy similar to
+    global shuffling (within a few percent at every worker count)."""
+    by = {(r.shuffle, r.gpus): r.best_val_mae for r in results}
+    for gpus in (4, 8, 16):
+        g, b = by[("global", gpus)], by[("batch", gpus)]
+        assert abs(g - b) / g < 0.10
+
+
+def test_all_runs_converge(results):
+    for r in results:
+        assert 0 < r.best_val_mae < 50

@@ -1,0 +1,64 @@
+"""Distributed training with the three data strategies of the paper.
+
+Runs real DDP training over 4 simulated ranks with:
+
+- baseline DDP (on-demand remote batch fetches),
+- distributed-index-batching (full local copies, comm-free shuffling),
+- generalized-distributed-index-batching (partitions + batch shuffling),
+
+and prints accuracy, simulated wall time, and per-category traffic for
+each — the small-scale analogue of Figures 7 and 9.
+
+Run:  python examples/distributed_training.py
+"""
+
+from repro.batching import IndexBatchLoader
+from repro.datasets import load_dataset
+from repro.distributed import SimCommunicator
+from repro.graph import dual_random_walk_supports
+from repro.models import PGTDCRNN
+from repro.optim import Adam
+from repro.preprocessing import IndexDataset
+from repro.training import DDPStrategy, DDPTrainer
+from repro.utils import format_bytes
+from repro.utils.seeding import seed_everything
+
+WORLD = 4
+EPOCHS = 4
+
+
+def run_strategy(strategy: DDPStrategy, idx: IndexDataset, supports) -> None:
+    model = PGTDCRNN(supports, horizon=idx.horizon, in_features=2,
+                     hidden_dim=16, seed=1)
+    comm = SimCommunicator(WORLD)
+    trainer = DDPTrainer(
+        model, Adam(model.parameters(), lr=0.01), comm,
+        IndexBatchLoader(idx, "train", batch_size=16),
+        IndexBatchLoader(idx, "val", batch_size=16),
+        strategy=strategy, scaler=idx.scaler, seed=1)
+    trainer.fit(EPOCHS)
+
+    traffic = {k: format_bytes(v)
+               for k, v in sorted(comm.stats.bytes_by_category.items())}
+    print(f"\n{strategy.value}")
+    print(f"  best val MAE      : {trainer.best_val_mae():.3f}")
+    print(f"  simulated wall    : {comm.now * 1e3:.3f} ms "
+          f"(tiny model on simulated A100s)")
+    print(f"  comm breakdown    : {traffic}")
+    print(f"  shuffle mode      : {trainer.shuffle}")
+
+
+def main() -> None:
+    seed_everything(1)
+    ds = load_dataset("pems-bay", nodes=24, entries=1500, seed=1)
+    idx = IndexDataset.from_dataset(ds, horizon=6)
+    supports = dual_random_walk_supports(ds.graph.weights)
+    print(f"training on {ds.num_nodes} sensors x {ds.num_entries} steps "
+          f"across {WORLD} simulated ranks")
+    for strategy in (DDPStrategy.BASELINE_DDP, DDPStrategy.DIST_INDEX,
+                     DDPStrategy.GENERALIZED_INDEX):
+        run_strategy(strategy, idx, supports)
+
+
+if __name__ == "__main__":
+    main()

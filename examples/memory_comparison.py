@@ -1,0 +1,60 @@
+"""Compare memory behaviour of standard vs index-batching preprocessing.
+
+Reproduces the paper's motivating case study (Section 3) at two levels:
+
+1. *real*: run both pipelines on a small synthetic dataset and measure the
+   actual bytes materialised;
+2. *full scale*: replay both pipelines' allocation sequences against a
+   simulated 512 GB Polaris node for every catalog dataset — including the
+   OOM crash on full PeMS that made this paper necessary.
+
+Run:  python examples/memory_comparison.py
+"""
+
+from repro.datasets import CATALOG, load_dataset
+from repro.hardware.memory import MemorySpace
+from repro.hardware.specs import polaris_host
+from repro.preprocessing import (
+    IndexDataset,
+    simulate_index_pipeline,
+    simulate_standard_pipeline,
+    standard_preprocess,
+)
+from repro.utils import OutOfMemoryError, format_bytes
+
+
+def real_small_scale() -> None:
+    print("=== real pipelines on a small synthetic dataset ===")
+    ds = load_dataset("pems-bay", nodes=32, entries=2000, seed=0)
+    std_space = MemorySpace("standard")
+    standard_preprocess(ds, space=std_space)
+    idx_space = MemorySpace("index")
+    IndexDataset.from_dataset(ds, space=idx_space)
+    print(f"standard: peak {format_bytes(std_space.peak):>10s}, "
+          f"resident {format_bytes(std_space.in_use):>10s}")
+    print(f"index:    peak {format_bytes(idx_space.peak):>10s}, "
+          f"resident {format_bytes(idx_space.in_use):>10s}")
+    print(f"peak reduction: {1 - idx_space.peak / std_space.peak:.1%}\n")
+
+
+def full_scale_simulation() -> None:
+    print("=== full-scale pipelines on a simulated Polaris node (512 GB) ===")
+    header = f"{'dataset':20s} {'standard peak':>14s} {'index peak':>12s} {'outcome'}"
+    print(header)
+    print("-" * len(header))
+    for name, spec in CATALOG.items():
+        std = polaris_host()
+        outcome = "both fit"
+        try:
+            simulate_standard_pipeline(spec, std)
+        except OutOfMemoryError:
+            outcome = "standard OOMs, index fits"
+        idx = polaris_host()
+        simulate_index_pipeline(spec, idx)
+        print(f"{name:20s} {format_bytes(std.peak):>14s} "
+              f"{format_bytes(idx.peak):>12s} {outcome}")
+
+
+if __name__ == "__main__":
+    real_small_scale()
+    full_scale_simulation()

@@ -1,0 +1,63 @@
+"""Quickstart: train a spatiotemporal GNN with index-batching.
+
+Builds a synthetic PeMS-BAY stand-in, preprocesses it with the paper's
+index-batching (one data copy + window-start indices, zero-copy snapshot
+views), and trains PGT-DCRNN for a few epochs on a single device.
+
+Run:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro.batching import IndexBatchLoader
+from repro.datasets import load_dataset
+from repro.graph import dual_random_walk_supports
+from repro.models import PGTDCRNN
+from repro.optim import Adam
+from repro.preprocessing import IndexDataset
+from repro.training import Trainer
+from repro.utils import format_bytes
+from repro.utils.seeding import seed_everything
+
+
+def main() -> None:
+    seed_everything(0)
+
+    # 1. Load a (scaled-down synthetic) traffic dataset.
+    ds = load_dataset("pems-bay", nodes=32, entries=2000, seed=0)
+    print(f"dataset: {ds.spec.name} stand-in, {ds.num_nodes} sensors, "
+          f"{ds.num_entries} timesteps ({format_bytes(ds.nbytes)})")
+
+    # 2. Index-batching preprocessing: one standardized copy + indices.
+    idx = IndexDataset.from_dataset(ds)
+    x, y = idx.snapshot(0)
+    print(f"snapshots: {idx.num_snapshots} windows of horizon "
+          f"{idx.horizon}; resident bytes {format_bytes(idx.resident_nbytes)}")
+    print(f"zero-copy check: x.base is data -> {x.base is idx.data}")
+
+    # 3. Model: diffusion-convolution GRU over the sensor graph.
+    supports = dual_random_walk_supports(ds.graph.weights)
+    model = PGTDCRNN(supports, horizon=idx.horizon, in_features=2,
+                     hidden_dim=32)
+    print(f"model: PGT-DCRNN with {model.num_parameters():,} parameters")
+
+    # 4. Train.
+    trainer = Trainer(
+        model, Adam(model.parameters(), lr=0.01),
+        IndexBatchLoader(idx, "train", batch_size=32),
+        IndexBatchLoader(idx, "val", batch_size=32),
+        scaler=idx.scaler)
+    trainer.fit(5, verbose=True)
+
+    # 5. Forecast: predict the next hour for the test split's first window.
+    test_starts = idx.split_starts("test")
+    xb, yb = idx.gather(test_starts[:1])
+    pred = model.predict(xb.astype(np.float32))[..., 0]
+    pred_mph = idx.scaler.inverse_transform_channel(pred, 0)
+    truth_mph = idx.scaler.inverse_transform_channel(yb[..., 0], 0)
+    print(f"\nforecast MAE on one test window: "
+          f"{np.abs(pred_mph - truth_mph).mean():.2f} mph")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,44 @@
+"""Regenerate the paper's full-scale scaling study (Figure 7) and the
+single-GPU PeMS comparison (Table 4) from the calibrated performance model.
+
+Everything here is simulated at true PeMS scale (11,160 sensors, 105,120
+timesteps) — exactly the configuration that OOMs real machines without
+index-batching.
+
+Run:  python examples/scaling_study.py
+"""
+
+from repro.experiments.figure7 import run_figure7, report as figure7_report
+from repro.experiments.figure9 import run_figure9, report as figure9_report
+from repro.experiments.table4 import report as table4_report
+from repro.viz import bar_chart, line_plot
+
+
+def main() -> None:
+    print(table4_report())
+    print()
+    r7 = run_figure7()
+    print(figure7_report(r7))
+    print()
+    print(line_plot(
+        {"baseline-ddp": [(p.gpus, p.total_minutes)
+                          for p in r7.points if p.strategy == "baseline-ddp"],
+         "dist-index": [(p.gpus, p.total_minutes)
+                        for p in r7.points if p.strategy == "dist-index"]},
+        title="Figure 7: total runtime vs GPUs (minutes)", xlabel="GPUs"))
+    print()
+    r9 = run_figure9()
+    print(figure9_report(r9))
+    print()
+    print(bar_chart(
+        {f"{m} @{g}": {"compute": p.compute_seconds, "comm": p.comm_seconds}
+         for m in ("ddp", "index")
+         for g, p in sorted(r9.by(m).items()) if g in (4, 32, 128)},
+        title="Figure 9: epoch time split (seconds)", unit="s"))
+    print(f"\n4-worker aggregate memory: DDP {r9.ddp_total_memory_gb:.1f} GB, "
+          f"generalized-index {r9.index_total_memory_gb:.1f} GB "
+          f"({r9.ddp_total_memory_gb / r9.index_total_memory_gb:.1f}x less)")
+
+
+if __name__ == "__main__":
+    main()

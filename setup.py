@@ -1,0 +1,11 @@
+"""Setup shim.
+
+The environment has no ``wheel`` package and no network access, so PEP 660
+editable installs (which build a wheel) fail.  Keeping a ``setup.py`` and no
+``[build-system]`` table in pyproject.toml lets ``pip install -e .`` use the
+legacy ``setup.py develop`` path, which works offline.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,27 @@
+"""PGT-I reproduction: memory-efficient distributed training for ST-GNNs.
+
+This package reproduces *PGT-I: Scaling Spatiotemporal GNNs with
+Memory-Efficient Distributed Training* (SC 2025) as a self-contained Python
+library.  It provides:
+
+- ``repro.autograd`` / ``repro.nn`` / ``repro.optim``: a NumPy reverse-mode
+  automatic-differentiation engine and neural-network library standing in for
+  PyTorch.
+- ``repro.graph``: sensor-graph construction and diffusion supports.
+- ``repro.datasets``: the paper's dataset catalog plus synthetic generators.
+- ``repro.preprocessing``: the standard sliding-window pipeline (Algorithm 1)
+  and the paper's index-batching datasets, with a byte-exact memory model.
+- ``repro.hardware`` / ``repro.cluster``: a simulated HPC substrate (devices,
+  memory spaces, interconnects) modeled on ALCF Polaris.
+- ``repro.distributed``: an MPI-style multi-rank communicator with simulated
+  time and byte accounting.
+- ``repro.models``: DCRNN, PGT-DCRNN, TGCN, A3T-GCN and ST-LLM.
+- ``repro.training``: single-device and DDP trainers implementing
+  index-batching, GPU-index-batching, distributed-index-batching and
+  generalized-distributed-index-batching.
+- ``repro.experiments``: one entry point per paper table and figure.
+"""
+
+from repro._version import __version__
+
+__all__ = ["__version__"]

@@ -1,0 +1,217 @@
+"""Differentiable functions that combine multiple tensors or need extras.
+
+Everything here follows the same convention as Tensor methods: compute the
+forward value with NumPy, then (when gradients are enabled) attach a closure
+that routes the output gradient to each input.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.autograd.tensor import Tensor, as_tensor, unbroadcast
+from repro.utils.errors import ShapeError
+
+
+def concat(tensors: Sequence[Tensor], axis: int = 0) -> Tensor:
+    """Concatenate tensors along ``axis`` (grad is a split)."""
+    tensors = [as_tensor(t) for t in tensors]
+    data = np.concatenate([t.data for t in tensors], axis=axis)
+    out = tensors[0]._make(data, tensors)
+    if out.requires_grad:
+        sizes = [t.data.shape[axis] for t in tensors]
+        splits = np.cumsum(sizes)[:-1]
+
+        def _bw(g: np.ndarray) -> None:
+            for t, piece in zip(tensors, np.split(g, splits, axis=axis)):
+                t._accumulate(piece)
+
+        out._backward = _bw
+    return out
+
+
+def stack(tensors: Sequence[Tensor], axis: int = 0) -> Tensor:
+    """Stack tensors along a new ``axis``."""
+    tensors = [as_tensor(t) for t in tensors]
+    data = np.stack([t.data for t in tensors], axis=axis)
+    out = tensors[0]._make(data, tensors)
+    if out.requires_grad:
+
+        def _bw(g: np.ndarray) -> None:
+            for i, t in enumerate(tensors):
+                t._accumulate(np.take(g, i, axis=axis))
+
+        out._backward = _bw
+    return out
+
+
+def where(condition: np.ndarray, a: Tensor, b: Tensor) -> Tensor:
+    """Elementwise select; ``condition`` is a constant boolean array."""
+    a = as_tensor(a)
+    b = as_tensor(b, like=a)
+    cond = np.asarray(condition)
+    out = a._make(np.where(cond, a.data, b.data), (a, b))
+    if out.requires_grad:
+
+        def _bw(g: np.ndarray) -> None:
+            a._accumulate(unbroadcast(g * cond, a.data.shape))
+            b._accumulate(unbroadcast(g * (~cond), b.data.shape))
+
+        out._backward = _bw
+    return out
+
+
+def clip(x: Tensor, lo: float, hi: float) -> Tensor:
+    """Clamp values to ``[lo, hi]``; gradient is zero outside the range."""
+    x = as_tensor(x)
+    mask = (x.data >= lo) & (x.data <= hi)
+    out = x._make(np.clip(x.data, lo, hi), (x,))
+    if out.requires_grad:
+
+        def _bw(g: np.ndarray) -> None:
+            x._accumulate(g * mask)
+
+        out._backward = _bw
+    return out
+
+
+def softmax(x: Tensor, axis: int = -1) -> Tensor:
+    """Numerically stable softmax along ``axis``."""
+    x = as_tensor(x)
+    shifted = x.data - x.data.max(axis=axis, keepdims=True)
+    e = np.exp(shifted)
+    s = e / e.sum(axis=axis, keepdims=True)
+    out = x._make(s, (x,))
+    if out.requires_grad:
+
+        def _bw(g: np.ndarray) -> None:
+            dot = (g * s).sum(axis=axis, keepdims=True)
+            x._accumulate(s * (g - dot))
+
+        out._backward = _bw
+    return out
+
+
+def log_softmax(x: Tensor, axis: int = -1) -> Tensor:
+    """Numerically stable log-softmax."""
+    x = as_tensor(x)
+    shifted = x.data - x.data.max(axis=axis, keepdims=True)
+    log_z = np.log(np.exp(shifted).sum(axis=axis, keepdims=True))
+    ls = shifted - log_z
+    out = x._make(ls, (x,))
+    if out.requires_grad:
+        smax = np.exp(ls)
+
+        def _bw(g: np.ndarray) -> None:
+            x._accumulate(g - smax * g.sum(axis=axis, keepdims=True))
+
+        out._backward = _bw
+    return out
+
+
+def dropout(x: Tensor, p: float, rng: np.random.Generator,
+            training: bool = True) -> Tensor:
+    """Inverted dropout: scales kept activations by ``1/(1-p)``."""
+    if not training or p <= 0.0:
+        return x
+    if not 0.0 <= p < 1.0:
+        raise ValueError(f"dropout probability must be in [0, 1), got {p}")
+    x = as_tensor(x)
+    keep = (rng.random(x.shape) >= p).astype(x.dtype) / (1.0 - p)
+    out = x._make(x.data * keep, (x,))
+    if out.requires_grad:
+
+        def _bw(g: np.ndarray) -> None:
+            x._accumulate(g * keep)
+
+        out._backward = _bw
+    return out
+
+
+def embedding(weight: Tensor, indices: np.ndarray) -> Tensor:
+    """Look up rows of ``weight`` (``[vocab, dim]``) by integer ``indices``."""
+    weight = as_tensor(weight)
+    idx = np.asarray(indices)
+    if not np.issubdtype(idx.dtype, np.integer):
+        raise ShapeError("embedding indices must be integers")
+    out = weight._make(weight.data[idx], (weight,))
+    if out.requires_grad:
+
+        def _bw(g: np.ndarray) -> None:
+            full = np.zeros_like(weight.data)
+            np.add.at(full, idx, g)
+            weight._accumulate(full)
+
+        out._backward = _bw
+    return out
+
+
+def sparse_matmul(matrix: sp.spmatrix, x: Tensor) -> Tensor:
+    """Multiply a constant sparse matrix by a dense tensor: ``A @ x``.
+
+    ``x`` may be 2-D ``[n, d]`` or 3-D ``[batch, n, d]`` (applied per batch
+    element by flattening the trailing axes, the standard GNN trick).  The
+    sparse operand is a graph support and receives no gradient.
+    """
+    x = as_tensor(x)
+    A = matrix.tocsr()
+    if x.ndim == 2:
+        data = A @ x.data
+    elif x.ndim == 3:
+        b, n, d = x.shape
+        if n != A.shape[1]:
+            raise ShapeError(f"support has {A.shape[1]} cols, input has {n} nodes")
+        # [b, n, d] -> [n, b*d] so one CSR matmul covers the whole batch.
+        flat = np.ascontiguousarray(x.data.transpose(1, 0, 2)).reshape(n, b * d)
+        data = (A @ flat).reshape(A.shape[0], b, d).transpose(1, 0, 2)
+    else:
+        raise ShapeError(f"sparse_matmul expects 2-D or 3-D input, got {x.ndim}-D")
+    out = x._make(data, (x,))
+    if out.requires_grad:
+        At = A.T.tocsr()
+
+        def _bw(g: np.ndarray) -> None:
+            if g.ndim == 2:
+                x._accumulate(At @ g)
+            else:
+                b, m, d = g.shape
+                flat = np.ascontiguousarray(g.transpose(1, 0, 2)).reshape(m, b * d)
+                x._accumulate((At @ flat).reshape(At.shape[0], b, d).transpose(1, 0, 2))
+
+        out._backward = _bw
+    return out
+
+
+def maximum(a: Tensor, b: Tensor) -> Tensor:
+    """Elementwise maximum with subgradient split evenly at ties."""
+    a = as_tensor(a)
+    b = as_tensor(b, like=a)
+    out = a._make(np.maximum(a.data, b.data), (a, b))
+    if out.requires_grad:
+        ga_mask = (a.data > b.data) + 0.5 * (a.data == b.data)
+
+        def _bw(g: np.ndarray) -> None:
+            a._accumulate(unbroadcast(g * ga_mask, a.data.shape))
+            b._accumulate(unbroadcast(g * (1.0 - ga_mask), b.data.shape))
+
+        out._backward = _bw
+    return out
+
+
+def pad_last(x: Tensor, pad: int, value: float = 0.0) -> Tensor:
+    """Pad the last axis on the right with ``pad`` entries of ``value``."""
+    if pad == 0:
+        return x
+    x = as_tensor(x)
+    widths = [(0, 0)] * (x.ndim - 1) + [(0, pad)]
+    out = x._make(np.pad(x.data, widths, constant_values=value), (x,))
+    if out.requires_grad:
+
+        def _bw(g: np.ndarray) -> None:
+            x._accumulate(g[..., : x.shape[-1]])
+
+        out._backward = _bw
+    return out

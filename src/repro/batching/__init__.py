@@ -1,0 +1,20 @@
+"""Samplers and batch loaders for standard and index-batched datasets."""
+
+from repro.batching.samplers import (
+    BatchShuffleSampler,
+    GlobalShuffleSampler,
+    LocalShuffleSampler,
+    SequentialSampler,
+    partition_contiguous,
+)
+from repro.batching.loaders import IndexBatchLoader, StandardBatchLoader
+
+__all__ = [
+    "SequentialSampler",
+    "GlobalShuffleSampler",
+    "LocalShuffleSampler",
+    "BatchShuffleSampler",
+    "partition_contiguous",
+    "IndexBatchLoader",
+    "StandardBatchLoader",
+]

@@ -1,0 +1,89 @@
+"""Batch loaders bridging preprocessed datasets and training loops.
+
+Both loaders yield ``(x, y)`` NumPy batches of shape
+``[batch, horizon, nodes, features]``; the difference is where the bytes
+come from:
+
+- :class:`StandardBatchLoader` slices the fully-materialised window stacks
+  of the standard pipeline.
+- :class:`IndexBatchLoader` gathers batches on demand from the single data
+  copy of an :class:`~repro.preprocessing.index_batching.IndexDataset`.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+import numpy as np
+
+from repro.preprocessing.index_batching import IndexDataset
+from repro.preprocessing.standard import StandardPreprocessed
+from repro.utils.errors import ShapeError
+
+
+class StandardBatchLoader:
+    """Iterate over a materialised split of the standard pipeline."""
+
+    def __init__(self, pre: StandardPreprocessed, split: str, batch_size: int,
+                 *, dtype=np.float32):
+        self.x, self.y = pre.split(split)
+        if len(self.x) == 0:
+            raise ShapeError(f"split {split!r} is empty")
+        self.batch_size = int(batch_size)
+        self.dtype = dtype
+
+    def __len__(self) -> int:
+        return max(len(self.x) // self.batch_size, 1)
+
+    @property
+    def num_snapshots(self) -> int:
+        return len(self.x)
+
+    def batches(self, order: np.ndarray | None = None
+                ) -> Iterator[tuple[np.ndarray, np.ndarray]]:
+        """Yield batches, optionally in a sampler-provided order."""
+        idx = np.arange(len(self.x)) if order is None else np.asarray(order)
+        bs = self.batch_size
+        for i in range(0, len(idx) - bs + 1, bs):
+            sel = idx[i: i + bs]
+            yield (self.x[sel].astype(self.dtype),
+                   self.y[sel].astype(self.dtype))
+
+    def batch_at(self, sel: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        return (self.x[sel].astype(self.dtype), self.y[sel].astype(self.dtype))
+
+
+class IndexBatchLoader:
+    """Iterate over an :class:`IndexDataset` split via runtime gathering."""
+
+    def __init__(self, ds: IndexDataset, split: str, batch_size: int,
+                 *, dtype=np.float32):
+        self.ds = ds
+        self.split = split
+        self.starts = ds.split_starts(split)
+        if len(self.starts) == 0:
+            raise ShapeError(f"split {split!r} is empty")
+        self.batch_size = int(batch_size)
+        self.dtype = dtype
+
+    def __len__(self) -> int:
+        return max(len(self.starts) // self.batch_size, 1)
+
+    @property
+    def num_snapshots(self) -> int:
+        return len(self.starts)
+
+    def batches(self, order: np.ndarray | None = None
+                ) -> Iterator[tuple[np.ndarray, np.ndarray]]:
+        """Yield batches; ``order`` indexes into this split's snapshots."""
+        idx = np.arange(len(self.starts)) if order is None else np.asarray(order)
+        bs = self.batch_size
+        for i in range(0, len(idx) - bs + 1, bs):
+            sel = self.starts[idx[i: i + bs]]
+            x, y = self.ds.gather(sel)
+            yield x.astype(self.dtype, copy=False), y.astype(self.dtype, copy=False)
+
+    def batch_at(self, sel: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Batch for split-local snapshot indices ``sel``."""
+        x, y = self.ds.gather(self.starts[np.asarray(sel)])
+        return x.astype(self.dtype, copy=False), y.astype(self.dtype, copy=False)

@@ -1,0 +1,6 @@
+"""Cluster topology and communication/IO cost models (Polaris profile)."""
+
+from repro.cluster.topology import ClusterTopology
+from repro.cluster.costmodel import CommCostModel, PFSModel
+
+__all__ = ["ClusterTopology", "CommCostModel", "PFSModel"]

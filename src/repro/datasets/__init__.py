@@ -1,0 +1,19 @@
+"""Dataset catalog and synthetic spatiotemporal data generators."""
+
+from repro.datasets.catalog import (
+    CATALOG,
+    DatasetSpec,
+    get_spec,
+    list_datasets,
+)
+from repro.datasets.base import SpatioTemporalDataset
+from repro.datasets.loaders import load_dataset
+
+__all__ = [
+    "CATALOG",
+    "DatasetSpec",
+    "get_spec",
+    "list_datasets",
+    "SpatioTemporalDataset",
+    "load_dataset",
+]

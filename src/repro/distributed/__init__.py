@@ -1,0 +1,5 @@
+"""In-process multi-rank communicator with simulated time and byte accounting."""
+
+from repro.distributed.comm import CommStats, SimCommunicator
+
+__all__ = ["SimCommunicator", "CommStats"]

@@ -1,0 +1,65 @@
+"""Figure 2: system-memory traces of DCRNN vs PGT-DCRNN on PeMS-All-LA
+and PeMS, including the OOM crashes at full PeMS scale."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.datasets import get_spec
+from repro.hardware.specs import polaris_host
+from repro.preprocessing.memory_model import (
+    simulate_dcrnn_loader,
+    simulate_standard_pipeline,
+)
+from repro.profiling import RunReport
+from repro.utils.errors import OutOfMemoryError
+from repro.utils.sizes import GB, format_bytes
+
+
+@dataclass
+class MemoryTrace:
+    """One (model, dataset) curve of Figure 2."""
+
+    model: str
+    dataset: str
+    trace: list[tuple[float, int]]   # (event index, bytes in use)
+    peak: int
+    oom: bool
+
+
+def _simulate(model: str, dataset: str) -> MemoryTrace:
+    space = polaris_host()
+    spec = get_spec(dataset)
+    sim = simulate_dcrnn_loader if model == "dcrnn" else simulate_standard_pipeline
+    oom = False
+    try:
+        sim(spec, space)
+    except OutOfMemoryError:
+        oom = True
+    return MemoryTrace(model=model, dataset=dataset,
+                       trace=space.usage_trace(), peak=space.peak, oom=oom)
+
+
+def run_figure2() -> list[MemoryTrace]:
+    """All four curves: {DCRNN, PGT-DCRNN} x {PeMS-All-LA, PeMS}."""
+    return [
+        _simulate(model, dataset)
+        for model in ("dcrnn", "pgt-dcrnn")
+        for dataset in ("pems-all-la", "pems")
+    ]
+
+
+def report(traces: list[MemoryTrace] | None = None) -> RunReport:
+    traces = traces if traces is not None else run_figure2()
+    rep = RunReport(
+        "Figure 2: memory during preprocessing/training (512 GB node limit)",
+        ["Model", "Dataset", "Peak", "Outcome"])
+    for t in traces:
+        rep.add_row(t.model, t.dataset, format_bytes(t.peak),
+                    "OOM ERROR" if t.oom else "fits")
+    rep.meta["limit"] = 512 * GB
+    return rep
+
+
+if __name__ == "__main__":
+    print(report())

@@ -1,0 +1,34 @@
+"""Figure 3: stage-by-stage data growth when preprocessing PeMS-All-LA."""
+
+from __future__ import annotations
+
+from repro.datasets import get_spec
+from repro.preprocessing import figure3_stages
+from repro.profiling import RunReport
+from repro.utils.sizes import format_bytes
+
+STAGE_LABELS = {
+    "raw": "Raw file",
+    "stage1_time_feature": "Stage 1: + time-of-day channel",
+    "stage2_swa": "Stage 2: sliding-window analysis (x)",
+    "stage3_xy_split": "Stage 3: x/y train-val-test sets",
+}
+
+
+def run_figure3(dataset: str = "pems-all-la") -> dict[str, int]:
+    return figure3_stages(get_spec(dataset))
+
+
+def report(stages: dict[str, int] | None = None) -> RunReport:
+    stages = stages if stages is not None else run_figure3()
+    rep = RunReport("Figure 3: data growth during PeMS-All-LA preprocessing",
+                    ["Stage", "Size", "vs raw"])
+    raw = stages["raw"]
+    for key, label in STAGE_LABELS.items():
+        rep.add_row(label, format_bytes(stages[key]),
+                    f"{stages[key] / raw:.1f}x")
+    return rep
+
+
+if __name__ == "__main__":
+    print(report())

@@ -1,0 +1,87 @@
+"""Figure 7: the scaling study — baseline DDP vs distributed-index-batching
+on PeMS with 4-128 GPUs, split into computation and communication time."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.datasets import get_spec
+from repro.profiling import RunReport
+from repro.training.perfmodel import TrainingPerfModel, pgt_dcrnn_perf
+
+GPU_COUNTS = (4, 8, 16, 32, 64, 128)
+
+
+@dataclass
+class ScalingPoint:
+    strategy: str
+    gpus: int
+    total_minutes: float
+    compute_minutes: float
+    comm_minutes: float
+    preprocess_seconds: float
+
+
+@dataclass
+class Figure7Result:
+    single_gpu_minutes: float
+    single_gpu_training_minutes: float
+    points: list[ScalingPoint]
+
+    def by(self, strategy: str) -> dict[int, ScalingPoint]:
+        return {p.gpus: p for p in self.points if p.strategy == strategy}
+
+    def speedup_vs_ddp(self, gpus: int) -> float:
+        return (self.by("baseline-ddp")[gpus].total_minutes
+                / self.by("dist-index")[gpus].total_minutes)
+
+    def speedup_vs_single(self, gpus: int) -> float:
+        return self.single_gpu_minutes / self.by("dist-index")[gpus].total_minutes
+
+
+def run_figure7(epochs: int = 30, batch_size: int = 64,
+                gpu_counts: tuple[int, ...] = GPU_COUNTS) -> Figure7Result:
+    spec = get_spec("pems")
+    model = pgt_dcrnn_perf(spec.num_nodes, spec.horizon, spec.train_features)
+    pm = TrainingPerfModel(spec, model, batch_size)
+    single = pm.run("index", 1, epochs, seed=0)
+    points = []
+    for strategy in ("baseline-ddp", "dist-index"):
+        for gpus in gpu_counts:
+            run = pm.run(strategy, gpus, epochs, seed=0)
+            e = run.epoch
+            points.append(ScalingPoint(
+                strategy=strategy, gpus=gpus,
+                total_minutes=run.total_seconds / 60,
+                compute_minutes=epochs * (e.compute + e.h2d + e.validation) / 60,
+                comm_minutes=epochs * (e.comm + e.framework) / 60,
+                preprocess_seconds=run.preprocess_seconds))
+    return Figure7Result(
+        single_gpu_minutes=single.total_seconds / 60,
+        single_gpu_training_minutes=single.training_seconds / 60,
+        points=points)
+
+
+def report(result: Figure7Result | None = None) -> RunReport:
+    result = result if result is not None else run_figure7()
+    rep = RunReport(
+        "Figure 7: scaling study on PeMS (30 epochs; paper speedups: "
+        "2.16x @4 GPUs, 11.78x @128 GPUs vs DDP)",
+        ["GPUs", "DDP total (min)", "DDP comm (min)",
+         "Dist-index total (min)", "Dist-index comm (min)",
+         "Speedup vs DDP", "Speedup vs 1 GPU"])
+    ddp = result.by("baseline-ddp")
+    di = result.by("dist-index")
+    for g in sorted(ddp):
+        rep.add_row(g, f"{ddp[g].total_minutes:.1f}",
+                    f"{ddp[g].comm_minutes:.1f}",
+                    f"{di[g].total_minutes:.1f}",
+                    f"{di[g].comm_minutes:.2f}",
+                    f"{result.speedup_vs_ddp(g):.2f}x",
+                    f"{result.speedup_vs_single(g):.1f}x")
+    rep.meta["single_gpu_minutes"] = result.single_gpu_minutes
+    return rep
+
+
+if __name__ == "__main__":
+    print(report())

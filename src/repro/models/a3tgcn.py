@@ -1,0 +1,60 @@
+"""A3T-GCN: Attention Temporal Graph Convolutional Network (Zhu et al. 2020).
+
+T-GCN hidden states over the input sequence are combined by a learned
+global temporal-attention weighting; the context vector feeds a regression
+head that emits the whole output sequence at once.  This is the model of
+the paper's broader-applicability study (Table 6), integrated with
+index-batching exactly like DCRNN because it consumes the same
+sequence-to-sequence batches.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.autograd import functional as F
+from repro.autograd.tensor import Tensor
+from repro.graph.supports import symmetric_normalized_adjacency
+from repro.models.base import STModel
+from repro.models.tgcn import TGCNCell
+from repro.nn.layers import Linear
+from repro.nn.module import Module
+
+
+class A3TGCN(STModel):
+    """Attention-pooled T-GCN for multi-step forecasting."""
+
+    def __init__(self, weights: sp.spmatrix, horizon: int, in_features: int,
+                 hidden_dim: int = 32, attention_dim: int = 16,
+                 *, seed: int | str = 0):
+        super().__init__()
+        self.horizon = horizon
+        self.num_nodes = weights.shape[0]
+        self.in_features = in_features
+        self.hidden_dim = hidden_dim
+        support = symmetric_normalized_adjacency(weights)
+        self.cell = TGCNCell(support, in_features, hidden_dim,
+                             seed_name=f"a3tgcn{seed}.cell")
+        # Global attention over time: score each hidden state.
+        self.attn_hidden = Linear(hidden_dim, attention_dim,
+                                  seed_name=f"a3tgcn{seed}.attn1")
+        self.attn_score = Linear(attention_dim, 1,
+                                 seed_name=f"a3tgcn{seed}.attn2")
+        self.head = Linear(hidden_dim, horizon, seed_name=f"a3tgcn{seed}.head")
+
+    def forward(self, x: Tensor) -> Tensor:
+        self.check_input(x)
+        batch = x.shape[0]
+        h = self.cell.init_hidden(batch)
+        states = []
+        for t in range(self.horizon):
+            h = self.cell(x[:, t], h)
+            states.append(h)
+        seq = F.stack(states, axis=1)                 # [B, T, N, H]
+        scores = self.attn_score(self.attn_hidden(seq).tanh())  # [B, T, N, 1]
+        weights = F.softmax(scores, axis=1)
+        context = (seq * weights).sum(axis=1)         # [B, N, H]
+        out = self.head(context)                      # [B, N, horizon]
+        return out.transpose(0, 2, 1).reshape(batch, self.horizon,
+                                              self.num_nodes, 1)

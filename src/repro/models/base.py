@@ -1,0 +1,48 @@
+"""Shared model interface and cost descriptors."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.autograd.tensor import Tensor
+from repro.nn.module import Module
+from repro.utils.errors import ShapeError
+
+
+class STModel(Module):
+    """Base class for sequence-to-sequence spatiotemporal models.
+
+    ``forward(x)`` takes ``[batch, horizon, nodes, features]`` and returns
+    ``[batch, horizon, nodes, 1]`` predictions of the primary channel.
+    """
+
+    horizon: int
+    num_nodes: int
+    in_features: int
+
+    def check_input(self, x: Tensor) -> None:
+        if x.ndim != 4:
+            raise ShapeError(f"expected [batch, horizon, nodes, features], "
+                             f"got shape {x.shape}")
+        if x.shape[1] != self.horizon:
+            raise ShapeError(f"model horizon {self.horizon} != input {x.shape[1]}")
+        if x.shape[2] != self.num_nodes:
+            raise ShapeError(f"model nodes {self.num_nodes} != input {x.shape[2]}")
+        if x.shape[3] != self.in_features:
+            raise ShapeError(f"model features {self.in_features} != input {x.shape[3]}")
+
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        """NumPy in, NumPy out, no grad (evaluation helper)."""
+        from repro.autograd.grad_mode import no_grad
+        with no_grad():
+            out = self.forward(Tensor(x))
+        return out.data
+
+    def flops_per_snapshot(self) -> float:
+        """Approximate forward+backward flops for one snapshot.
+
+        Used by the analytic cost model to extrapolate step times to
+        full-scale shapes.  Subclasses override with model-specific counts;
+        the default derives from parameter count (dense lower bound).
+        """
+        return 6.0 * self.num_parameters() * self.horizon

@@ -1,0 +1,140 @@
+"""DCRNN: Diffusion Convolutional Recurrent Neural Network (Li et al. 2018).
+
+The full model the paper benchmarks as its PyTorch baseline: a GRU whose
+matmuls are replaced by diffusion convolutions (:class:`DCGRUCell`), wired
+as a sequence-to-sequence encoder-decoder.  The decoder rolls forward with
+scheduled sampling during training (probability of using the ground truth
+decays with global step) and feeds back its own predictions at inference.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.autograd import functional as F
+from repro.autograd.tensor import Tensor
+from repro.models.base import STModel
+from repro.models.dconv import DiffusionConv
+from repro.nn.layers import Linear
+from repro.nn.module import Module
+from repro.utils.seeding import new_rng
+
+
+class DCGRUCell(Module):
+    """GRU cell with diffusion-convolution gates over ``[B, N, dim]`` states."""
+
+    def __init__(self, supports: list[sp.spmatrix], in_dim: int,
+                 hidden_dim: int, k_hops: int = 2, *, seed_name: str = "dcgru"):
+        super().__init__()
+        self.hidden_dim = hidden_dim
+        self.num_nodes = supports[0].shape[0]
+        self.gates = DiffusionConv(supports, in_dim + hidden_dim,
+                                   2 * hidden_dim, k_hops,
+                                   seed_name=f"{seed_name}.gates")
+        # Bias gates toward "keep state" at init (standard GRU trick).
+        self.gates.bias.data[:] = 1.0
+        self.candidate = DiffusionConv(supports, in_dim + hidden_dim,
+                                       hidden_dim, k_hops,
+                                       seed_name=f"{seed_name}.cand")
+
+    def forward(self, x: Tensor, h: Tensor) -> Tensor:
+        xh = F.concat([x, h], axis=-1)
+        gates = self.gates(xh).sigmoid()
+        r = gates[..., : self.hidden_dim]
+        u = gates[..., self.hidden_dim:]
+        cand = self.candidate(F.concat([x, r * h], axis=-1)).tanh()
+        return u * h + (1.0 - u) * cand
+
+    def init_hidden(self, batch: int) -> Tensor:
+        return Tensor(np.zeros((batch, self.num_nodes, self.hidden_dim),
+                               dtype=np.float32))
+
+    def flops(self, batch: int) -> float:
+        return self.gates.flops(batch) + self.candidate.flops(batch)
+
+
+class DCRNN(STModel):
+    """Encoder-decoder DCRNN for sequence-to-sequence forecasting.
+
+    Parameters mirror the reference implementation: ``num_layers`` stacked
+    DCGRU cells in both encoder and decoder, diffusion order ``k_hops``,
+    scheduled sampling controlled by ``cl_decay_steps`` (curriculum
+    learning decay; 0 disables teacher forcing entirely).
+    """
+
+    def __init__(self, supports: list[sp.spmatrix], horizon: int,
+                 in_features: int, hidden_dim: int = 64, num_layers: int = 2,
+                 k_hops: int = 2, cl_decay_steps: int = 1000,
+                 *, seed: int | str = 0):
+        super().__init__()
+        self.horizon = horizon
+        self.num_nodes = supports[0].shape[0]
+        self.in_features = in_features
+        self.hidden_dim = hidden_dim
+        self.num_layers = num_layers
+        self.cl_decay_steps = cl_decay_steps
+        self.global_step = 0
+        self._rng = new_rng("model", "dcrnn", seed)
+
+        self.encoder = [
+            DCGRUCell(supports, in_features if i == 0 else hidden_dim,
+                      hidden_dim, k_hops, seed_name=f"dcrnn{seed}.enc{i}")
+            for i in range(num_layers)
+        ]
+        # Decoder input is the previous prediction (1 channel).
+        self.decoder = [
+            DCGRUCell(supports, 1 if i == 0 else hidden_dim,
+                      hidden_dim, k_hops, seed_name=f"dcrnn{seed}.dec{i}")
+            for i in range(num_layers)
+        ]
+        self.proj = Linear(hidden_dim, 1, seed_name=f"dcrnn{seed}.proj")
+
+    # -- scheduled sampling --------------------------------------------
+    def _teacher_forcing_prob(self) -> float:
+        if self.cl_decay_steps <= 0:
+            return 0.0
+        k = float(self.cl_decay_steps)
+        return k / (k + np.exp(self.global_step / k))
+
+    def forward(self, x: Tensor, targets: np.ndarray | None = None) -> Tensor:
+        """``x``: [B, h, N, F]; optional ``targets`` [B, h, N, >=1] enable
+        scheduled sampling during training."""
+        self.check_input(x)
+        batch = x.shape[0]
+        # Encode.
+        hidden = [cell.init_hidden(batch) for cell in self.encoder]
+        for t in range(self.horizon):
+            inp = x[:, t]
+            for i, cell in enumerate(self.encoder):
+                hidden[i] = cell(inp, hidden[i])
+                inp = hidden[i]
+        # Decode with GO symbol.
+        dec_hidden = hidden
+        go = Tensor(np.zeros((batch, self.num_nodes, 1), dtype=np.float32))
+        outputs = []
+        prev = go
+        use_tf = (self.training and targets is not None)
+        tf_prob = self._teacher_forcing_prob() if use_tf else 0.0
+        for t in range(self.horizon):
+            inp = prev
+            for i, cell in enumerate(self.decoder):
+                dec_hidden[i] = cell(inp, dec_hidden[i])
+                inp = dec_hidden[i]
+            step_out = self.proj(inp)  # [B, N, 1]
+            outputs.append(step_out)
+            if use_tf and self._rng.random() < tf_prob:
+                prev = Tensor(np.ascontiguousarray(targets[:, t, :, :1],
+                                                   dtype=np.float32))
+            else:
+                prev = step_out
+        if self.training:
+            self.global_step += 1
+        return F.stack(outputs, axis=1)  # [B, h, N, 1]
+
+    def flops_per_snapshot(self) -> float:
+        enc = sum(c.flops(1) for c in self.encoder)
+        dec = sum(c.flops(1) for c in self.decoder)
+        proj = 2.0 * self.num_nodes * self.hidden_dim
+        # x3 for backward pass (standard 2x backward + 1x forward rule).
+        return 3.0 * self.horizon * (enc + dec + proj)

@@ -1,0 +1,51 @@
+"""PGT-DCRNN: the lightweight PGT variant of DCRNN (paper §3).
+
+The paper's case study modifies PGT's DCRNN layer to support batching and
+*stepwise* sequence-to-sequence prediction: a single spatiotemporal
+diffusion-convolution recurrent layer maintains a hidden state across the
+input sequence and emits an output at every step, "producing a prediction
+sequence of equal length to the input".  No encoder-decoder, no scheduled
+sampling — that is exactly why it is ~15x faster than the full DCRNN while
+remaining a faithful diffusion-convolution model.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.autograd import functional as F
+from repro.autograd.tensor import Tensor
+from repro.models.base import STModel
+from repro.models.dcrnn import DCGRUCell
+from repro.nn.layers import Linear
+
+
+class PGTDCRNN(STModel):
+    """Single-layer stepwise DCRNN as implemented in PGT + this paper."""
+
+    def __init__(self, supports: list[sp.spmatrix], horizon: int,
+                 in_features: int, hidden_dim: int = 64, k_hops: int = 2,
+                 *, seed: int | str = 0):
+        super().__init__()
+        self.horizon = horizon
+        self.num_nodes = supports[0].shape[0]
+        self.in_features = in_features
+        self.hidden_dim = hidden_dim
+        self.cell = DCGRUCell(supports, in_features, hidden_dim, k_hops,
+                              seed_name=f"pgtdcrnn{seed}.cell")
+        self.proj = Linear(hidden_dim, 1, seed_name=f"pgtdcrnn{seed}.proj")
+
+    def forward(self, x: Tensor) -> Tensor:
+        self.check_input(x)
+        batch = x.shape[0]
+        h = self.cell.init_hidden(batch)
+        outputs = []
+        for t in range(self.horizon):
+            h = self.cell(x[:, t], h)
+            outputs.append(self.proj(h))
+        return F.stack(outputs, axis=1)
+
+    def flops_per_snapshot(self) -> float:
+        per_step = self.cell.flops(1) + 2.0 * self.num_nodes * self.hidden_dim
+        return 3.0 * self.horizon * per_step

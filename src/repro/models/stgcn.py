@@ -1,0 +1,142 @@
+"""STGCN: Spatio-Temporal Graph Convolutional Network (Yu et al., IJCAI-18).
+
+One of the benchmark ST-GNNs the paper cites ([68]).  Unlike the
+RNN-based models, STGCN is fully convolutional: gated temporal
+convolutions (GLU) sandwich a Chebyshev-polynomial spatial convolution in
+each "ST-Conv block".  It consumes the same ``[B, horizon, N, F]``
+sequence-to-sequence batches, so index-batching applies unchanged —
+another instance of the paper's broader-applicability argument.
+
+Temporal convolutions are implemented as window-unfold + dense map, which
+keeps the whole model inside the existing autograd op set.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.autograd import functional as F
+from repro.autograd.tensor import Tensor
+from repro.graph.supports import chebyshev_supports
+from repro.models.base import STModel
+from repro.nn.layers import LayerNorm, Linear
+from repro.nn.module import Module
+from repro.utils.errors import ShapeError
+
+
+class TemporalGatedConv(Module):
+    """1-D causal-width convolution over time with GLU gating.
+
+    Input ``[B, T, N, C_in]`` -> output ``[B, T - kernel + 1, N, C_out]``:
+    each output step sees ``kernel`` consecutive input steps; the doubled
+    channel output is split into value and gate halves (GLU).
+    """
+
+    def __init__(self, in_channels: int, out_channels: int, kernel: int = 3,
+                 *, seed_name: str = "tconv"):
+        super().__init__()
+        if kernel < 1:
+            raise ValueError("kernel must be >= 1")
+        self.kernel = kernel
+        self.out_channels = out_channels
+        self.lin = Linear(kernel * in_channels, 2 * out_channels,
+                          seed_name=seed_name)
+        # Residual projection when channel counts differ.
+        self.residual = (Linear(in_channels, out_channels, bias=False,
+                                seed_name=f"{seed_name}.res")
+                         if in_channels != out_channels else None)
+
+    def forward(self, x: Tensor) -> Tensor:
+        t = x.shape[1]
+        k = self.kernel
+        if t < k:
+            raise ShapeError(f"sequence length {t} shorter than kernel {k}")
+        windows = F.concat([x[:, i: t - k + 1 + i] for i in range(k)],
+                           axis=-1)                       # [B, T', N, k*C]
+        h = self.lin(windows)
+        value = h[..., : self.out_channels]
+        gate = h[..., self.out_channels:]
+        res = x[:, k - 1:]                                 # align residual
+        if self.residual is not None:
+            res = self.residual(res)
+        return (value + res) * gate.sigmoid()              # gated + skip
+
+
+class ChebGraphConv(Module):
+    """Chebyshev spatial convolution over ``[B, T, N, C]`` tensors."""
+
+    def __init__(self, weights: sp.spmatrix, in_channels: int,
+                 out_channels: int, k: int = 3, *, seed_name: str = "cheb"):
+        super().__init__()
+        self.supports = chebyshev_supports(weights, k)
+        self.lin = Linear(k * in_channels, out_channels, seed_name=seed_name)
+
+    def forward(self, x: Tensor) -> Tensor:
+        b, t, n, c = x.shape
+        flat = x.reshape(b * t, n, c)
+        hops = [F.sparse_matmul(s, flat) for s in self.supports]
+        mixed = self.lin(F.concat(hops, axis=-1))
+        return mixed.reshape(b, t, n, mixed.shape[-1]).relu()
+
+
+class STConvBlock(Module):
+    """Temporal GLU -> Chebyshev spatial conv -> temporal GLU -> LayerNorm."""
+
+    def __init__(self, weights: sp.spmatrix, in_channels: int,
+                 spatial_channels: int, out_channels: int, *,
+                 kernel: int = 3, cheb_k: int = 3, seed_name: str = "block"):
+        super().__init__()
+        self.tconv1 = TemporalGatedConv(in_channels, spatial_channels,
+                                        kernel, seed_name=f"{seed_name}.t1")
+        self.sconv = ChebGraphConv(weights, spatial_channels,
+                                   spatial_channels, cheb_k,
+                                   seed_name=f"{seed_name}.s")
+        self.tconv2 = TemporalGatedConv(spatial_channels, out_channels,
+                                        kernel, seed_name=f"{seed_name}.t2")
+        self.norm = LayerNorm(out_channels)
+
+    def forward(self, x: Tensor) -> Tensor:
+        return self.norm(self.tconv2(self.sconv(self.tconv1(x))))
+
+    def shrink(self) -> int:
+        """Time steps consumed by the two temporal convolutions."""
+        return (self.tconv1.kernel - 1) + (self.tconv2.kernel - 1)
+
+
+class STGCN(STModel):
+    """Two ST-Conv blocks plus an output head emitting the full horizon."""
+
+    def __init__(self, weights: sp.spmatrix, horizon: int, in_features: int,
+                 channels: int = 32, spatial_channels: int = 16,
+                 kernel: int = 3, cheb_k: int = 3, *, seed: int | str = 0):
+        super().__init__()
+        self.horizon = horizon
+        self.num_nodes = weights.shape[0]
+        self.in_features = in_features
+        self.block1 = STConvBlock(weights, in_features, spatial_channels,
+                                  channels, kernel=kernel, cheb_k=cheb_k,
+                                  seed_name=f"stgcn{seed}.b1")
+        self.block2 = STConvBlock(weights, channels, spatial_channels,
+                                  channels, kernel=kernel, cheb_k=cheb_k,
+                                  seed_name=f"stgcn{seed}.b2")
+        remaining = horizon - self.block1.shrink() - self.block2.shrink()
+        if remaining < 1:
+            raise ShapeError(
+                f"horizon {horizon} too short for kernel {kernel}: "
+                f"{4 * (kernel - 1)} steps are consumed by the 4 temporal "
+                f"convolutions")
+        self.head = Linear(remaining * channels, horizon,
+                           seed_name=f"stgcn{seed}.head")
+        self._remaining = remaining
+        self._channels = channels
+
+    def forward(self, x: Tensor) -> Tensor:
+        self.check_input(x)
+        batch = x.shape[0]
+        h = self.block2(self.block1(x))        # [B, T', N, C]
+        h = h.transpose(0, 2, 1, 3).reshape(batch, self.num_nodes,
+                                            self._remaining * self._channels)
+        out = self.head(h)                     # [B, N, horizon]
+        return out.transpose(0, 2, 1).reshape(batch, self.horizon,
+                                              self.num_nodes, 1)

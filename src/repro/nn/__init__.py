@@ -1,0 +1,29 @@
+"""Neural-network building blocks on top of :mod:`repro.autograd`."""
+
+from repro.nn.init import glorot_uniform, he_uniform, uniform_, zeros_
+from repro.nn.module import Module, Parameter
+from repro.nn.layers import (
+    Dropout,
+    Embedding,
+    LayerNorm,
+    Linear,
+    Sequential,
+)
+from repro.nn.rnn import GRUCell
+from repro.nn.attention import MultiHeadAttention
+
+__all__ = [
+    "Module",
+    "Parameter",
+    "Linear",
+    "LayerNorm",
+    "Embedding",
+    "Dropout",
+    "Sequential",
+    "GRUCell",
+    "MultiHeadAttention",
+    "glorot_uniform",
+    "he_uniform",
+    "uniform_",
+    "zeros_",
+]

@@ -1,0 +1,32 @@
+"""Weight initialisation schemes."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.autograd.tensor import DEFAULT_DTYPE
+
+
+def glorot_uniform(rng: np.random.Generator, fan_in: int, fan_out: int,
+                   shape: tuple[int, ...] | None = None) -> np.ndarray:
+    """Xavier/Glorot uniform init, the PyTorch default for linear-like layers."""
+    limit = float(np.sqrt(6.0 / (fan_in + fan_out)))
+    if shape is None:
+        shape = (fan_in, fan_out)
+    return rng.uniform(-limit, limit, size=shape).astype(DEFAULT_DTYPE)
+
+
+def he_uniform(rng: np.random.Generator, fan_in: int,
+               shape: tuple[int, ...]) -> np.ndarray:
+    """Kaiming/He uniform init for ReLU stacks."""
+    limit = float(np.sqrt(6.0 / fan_in))
+    return rng.uniform(-limit, limit, size=shape).astype(DEFAULT_DTYPE)
+
+
+def uniform_(rng: np.random.Generator, shape: tuple[int, ...],
+             low: float = -0.1, high: float = 0.1) -> np.ndarray:
+    return rng.uniform(low, high, size=shape).astype(DEFAULT_DTYPE)
+
+
+def zeros_(shape: tuple[int, ...]) -> np.ndarray:
+    return np.zeros(shape, dtype=DEFAULT_DTYPE)

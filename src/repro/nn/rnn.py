@@ -1,0 +1,47 @@
+"""Recurrent cells.
+
+Only the GRU cell is needed: DCRNN replaces its matmuls with diffusion
+convolutions (see :mod:`repro.models.dcrnn`), TGCN with graph convolutions,
+and ST-LLM does not use recurrence at all.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.autograd import functional as F
+from repro.autograd.tensor import Tensor
+from repro.nn.init import glorot_uniform, zeros_
+from repro.nn.module import Module, Parameter
+from repro.utils.seeding import new_rng
+
+
+class GRUCell(Module):
+    """Standard gated recurrent unit cell.
+
+    Follows the PyTorch gate layout: reset/update gates from a fused affine
+    map of ``[x, h]``, candidate from ``[x, r*h]``.
+    """
+
+    def __init__(self, input_size: int, hidden_size: int, *, seed_name: str = "gru"):
+        super().__init__()
+        self.input_size = input_size
+        self.hidden_size = hidden_size
+        rng = new_rng("nn", seed_name, input_size, hidden_size)
+        in_dim = input_size + hidden_size
+        self.w_gates = Parameter(glorot_uniform(rng, in_dim, 2 * hidden_size))
+        self.b_gates = Parameter(np.ones(2 * hidden_size, dtype=np.float32))
+        self.w_cand = Parameter(glorot_uniform(rng, in_dim, hidden_size))
+        self.b_cand = Parameter(zeros_((hidden_size,)))
+
+    def forward(self, x: Tensor, h: Tensor) -> Tensor:
+        xh = F.concat([x, h], axis=-1)
+        gates = (xh @ self.w_gates + self.b_gates).sigmoid()
+        r = gates[..., : self.hidden_size]
+        u = gates[..., self.hidden_size:]
+        cand_in = F.concat([x, r * h], axis=-1)
+        c = (cand_in @ self.w_cand + self.b_cand).tanh()
+        return u * h + (1.0 - u) * c
+
+    def init_hidden(self, batch_size: int) -> Tensor:
+        return Tensor(np.zeros((batch_size, self.hidden_size), dtype=np.float32))

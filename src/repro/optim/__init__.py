@@ -1,0 +1,24 @@
+"""Optimizers, learning-rate schedules, loss functions and grad clipping."""
+
+from repro.optim.losses import l1_loss, masked_mae_loss, mse_loss
+from repro.optim.optimizers import SGD, Adam, Optimizer, clip_grad_norm
+from repro.optim.schedules import (
+    ConstantLR,
+    LinearWarmupLR,
+    MultiStepLR,
+    scale_lr_linear,
+)
+
+__all__ = [
+    "Optimizer",
+    "SGD",
+    "Adam",
+    "clip_grad_norm",
+    "l1_loss",
+    "mse_loss",
+    "masked_mae_loss",
+    "ConstantLR",
+    "MultiStepLR",
+    "LinearWarmupLR",
+    "scale_lr_linear",
+]

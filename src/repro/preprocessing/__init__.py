@@ -1,0 +1,40 @@
+"""Spatiotemporal preprocessing: standard (Algorithm 1) and index-batching.
+
+This package implements the paper's core contribution.  The *standard*
+pipeline materialises every overlapping ``(x, y)`` snapshot produced by
+sliding-window analysis (SWA), duplicating each raw entry up to
+``2 * horizon`` times; *index-batching* stores a single standardized copy of
+the augmented data plus an array of window-start indices, and reconstructs
+snapshots at runtime as NumPy views.
+"""
+
+from repro.preprocessing.windows import (
+    num_snapshots,
+    split_bounds,
+    window_starts,
+)
+from repro.preprocessing.scaler import StandardScaler
+from repro.preprocessing.standard import StandardPreprocessed, standard_preprocess
+from repro.preprocessing.index_batching import IndexDataset
+from repro.preprocessing.memory_model import (
+    figure3_stages,
+    index_nbytes,
+    standard_preprocessed_nbytes,
+    simulate_index_pipeline,
+    simulate_standard_pipeline,
+)
+
+__all__ = [
+    "num_snapshots",
+    "window_starts",
+    "split_bounds",
+    "StandardScaler",
+    "standard_preprocess",
+    "StandardPreprocessed",
+    "IndexDataset",
+    "standard_preprocessed_nbytes",
+    "index_nbytes",
+    "figure3_stages",
+    "simulate_standard_pipeline",
+    "simulate_index_pipeline",
+]

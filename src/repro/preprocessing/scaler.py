@@ -1,0 +1,65 @@
+"""Standardization (z-score) fitted on the training portion.
+
+The paper's Algorithm 1 normalises with the training mean and standard
+deviation so "each node contributes equally to the model's predictions".
+We standardize per feature channel, which generalises the DCRNN reference's
+single-channel scaler to multi-feature datasets.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.errors import ShapeError
+
+
+class StandardScaler:
+    """Per-feature z-score scaler for ``[..., features]`` arrays."""
+
+    def __init__(self, mean: np.ndarray | None = None,
+                 std: np.ndarray | None = None):
+        self.mean_ = None if mean is None else np.asarray(mean, dtype=np.float64)
+        self.std_ = None if std is None else np.asarray(std, dtype=np.float64)
+
+    @property
+    def fitted(self) -> bool:
+        return self.mean_ is not None
+
+    def fit(self, data: np.ndarray) -> "StandardScaler":
+        """Fit over every axis except the last (feature) axis."""
+        data = np.asarray(data)
+        if data.ndim < 2:
+            raise ShapeError("scaler expects at least [entries, features]")
+        axes = tuple(range(data.ndim - 1))
+        self.mean_ = data.mean(axis=axes, dtype=np.float64)
+        std = data.std(axis=axes, dtype=np.float64)
+        # Constant channels (e.g. an all-zero feature) must not divide by 0.
+        self.std_ = np.where(std > 0, std, 1.0)
+        return self
+
+    def _check(self) -> None:
+        if not self.fitted:
+            raise RuntimeError("scaler used before fit()")
+
+    def transform(self, data: np.ndarray, out: np.ndarray | None = None) -> np.ndarray:
+        """Standardize; pass ``out=data`` for in-place (index-batching does)."""
+        self._check()
+        data = np.asarray(data)
+        mean = self.mean_.astype(data.dtype)
+        std = self.std_.astype(data.dtype)
+        if out is None:
+            return (data - mean) / std
+        np.subtract(data, mean, out=out)
+        np.divide(out, std, out=out)
+        return out
+
+    def inverse_transform(self, data: np.ndarray) -> np.ndarray:
+        self._check()
+        data = np.asarray(data)
+        return data * self.std_.astype(data.dtype) + self.mean_.astype(data.dtype)
+
+    def inverse_transform_channel(self, data: np.ndarray, channel: int) -> np.ndarray:
+        """Undo scaling for a single feature channel (predictions usually
+        cover only the primary signal channel)."""
+        self._check()
+        return data * float(self.std_[channel]) + float(self.mean_[channel])

@@ -1,0 +1,54 @@
+"""Sliding-window arithmetic shared by both preprocessing pipelines.
+
+A snapshot with window start ``s`` and horizon ``h`` is the pair
+
+    x = data[s : s + h]            (input sequence)
+    y = data[s + h : s + 2h]       (target sequence)
+
+Valid starts are ``0 .. entries - 2h``, so the number of snapshots is
+``entries - (2h - 1)`` — the count that appears in the paper's eq. (1) and
+eq. (2).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+DEFAULT_SPLIT = (0.70, 0.10, 0.20)
+
+
+def num_snapshots(entries: int, horizon: int) -> int:
+    """Number of valid ``(x, y)`` snapshot pairs."""
+    if horizon < 1:
+        raise ValueError(f"horizon must be >= 1, got {horizon}")
+    n = entries - (2 * horizon - 1)
+    if n < 1:
+        raise ValueError(
+            f"{entries} entries cannot fit a single window of horizon {horizon}")
+    return n
+
+
+def window_starts(entries: int, horizon: int) -> np.ndarray:
+    """All valid window-start indices (the paper's array of graph IDs)."""
+    return np.arange(num_snapshots(entries, horizon), dtype=np.int64)
+
+
+def split_bounds(n_snapshots: int,
+                 ratios: tuple[float, float, float] = DEFAULT_SPLIT
+                 ) -> tuple[int, int]:
+    """Snapshot-index boundaries for the train/val/test split.
+
+    Returns ``(train_end, val_end)``; the splits are
+    ``[0, train_end)``, ``[train_end, val_end)``, ``[val_end, n)``.
+    Follows the paper's default 70/10/20 split (Algorithm 1 uses
+    ``round(len(x) * 0.70)``).
+    """
+    if len(ratios) != 3 or abs(sum(ratios) - 1.0) > 1e-9:
+        raise ValueError(f"ratios must be three values summing to 1, got {ratios}")
+    if min(ratios) < 0:
+        raise ValueError("ratios must be non-negative")
+    train_end = round(n_snapshots * ratios[0])
+    val_end = train_end + round(n_snapshots * ratios[1])
+    train_end = min(max(train_end, 0), n_snapshots)
+    val_end = min(max(val_end, train_end), n_snapshots)
+    return train_end, val_end

@@ -1,0 +1,6 @@
+"""Simulated clocks, timers and run reports."""
+
+from repro.profiling.clock import SimClock
+from repro.profiling.report import RunReport, format_table
+
+__all__ = ["SimClock", "RunReport", "format_table"]

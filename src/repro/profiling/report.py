@@ -1,0 +1,54 @@
+"""Plain-text result tables in the style of the paper's tables."""
+
+from __future__ import annotations
+
+from typing import Any, Mapping, Sequence
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence[Any]],
+                 title: str = "") -> str:
+    """Render an aligned ASCII table."""
+    cells = [[str(h) for h in headers]] + [[str(c) for c in row] for row in rows]
+    widths = [max(len(r[i]) for r in cells) for i in range(len(headers))]
+    lines = []
+    if title:
+        lines.append(title)
+    sep = "-+-".join("-" * w for w in widths)
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(cells[0], widths)))
+    lines.append(sep)
+    for row in cells[1:]:
+        lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+class RunReport:
+    """Accumulates named result rows and renders them as a table.
+
+    Experiment modules return a ``RunReport`` so benchmarks can both print
+    the paper-style table and assert on the underlying values.
+    """
+
+    def __init__(self, title: str, headers: Sequence[str]):
+        self.title = title
+        self.headers = list(headers)
+        self.rows: list[list[Any]] = []
+        self.meta: dict[str, Any] = {}
+
+    def add_row(self, *values: Any) -> None:
+        if len(values) != len(self.headers):
+            raise ValueError(
+                f"expected {len(self.headers)} values, got {len(values)}")
+        self.rows.append(list(values))
+
+    def by_first_column(self) -> Mapping[str, list[Any]]:
+        """Index rows by their first column (must be unique)."""
+        out: dict[str, list[Any]] = {}
+        for row in self.rows:
+            key = str(row[0])
+            if key in out:
+                raise KeyError(f"duplicate row key {key!r}")
+            out[key] = row
+        return out
+
+    def __str__(self) -> str:
+        return format_table(self.headers, self.rows, title=self.title)

@@ -1,0 +1,25 @@
+"""Training loops: single-device and distributed-data-parallel."""
+
+from repro.training.checkpoint import load_checkpoint, save_checkpoint
+from repro.training.ddp import DDPStrategy, DDPTrainer
+from repro.training.evaluation import HorizonMetrics, evaluate_by_horizon
+from repro.training.metrics import mae, mape, masked_mae, mse, rmse
+from repro.training.replicated import ReplicatedDDPTrainer
+from repro.training.trainer import EpochRecord, Trainer
+
+__all__ = [
+    "mae",
+    "mse",
+    "rmse",
+    "mape",
+    "masked_mae",
+    "Trainer",
+    "EpochRecord",
+    "DDPTrainer",
+    "DDPStrategy",
+    "ReplicatedDDPTrainer",
+    "save_checkpoint",
+    "load_checkpoint",
+    "evaluate_by_horizon",
+    "HorizonMetrics",
+]

@@ -1,0 +1,74 @@
+"""Training checkpoints: save/restore model + optimizer + history.
+
+Long PeMS runs on shared clusters need restartability; this module
+serialises everything to a single ``.npz`` (portable, no pickle of code).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Any
+
+import numpy as np
+
+from repro.nn.module import Module
+from repro.optim.optimizers import Adam, Optimizer, SGD
+
+
+def save_checkpoint(path: str, model: Module, optimizer: Optimizer | None = None,
+                    *, epoch: int = 0, extra: dict[str, Any] | None = None) -> None:
+    """Write model parameters (and optimizer slots) to ``path``.
+
+    ``extra`` must be JSON-serialisable (stored in the archive's metadata).
+    """
+    arrays: dict[str, np.ndarray] = {}
+    for name, p in model.named_parameters():
+        arrays[f"param/{name}"] = p.data
+    meta: dict[str, Any] = {"epoch": int(epoch), "extra": extra or {},
+                            "optimizer": None}
+    if optimizer is not None:
+        meta["optimizer"] = {"type": type(optimizer).__name__,
+                             "lr": optimizer.lr,
+                             "step_count": optimizer.step_count}
+        for i, p in enumerate(optimizer.params):
+            if isinstance(optimizer, Adam):
+                if optimizer._m[i] is not None:
+                    arrays[f"adam_m/{i}"] = optimizer._m[i]
+                    arrays[f"adam_v/{i}"] = optimizer._v[i]
+            elif isinstance(optimizer, SGD):
+                if optimizer._velocity[i] is not None:
+                    arrays[f"sgd_v/{i}"] = optimizer._velocity[i]
+    arrays["__meta__"] = np.frombuffer(
+        json.dumps(meta).encode("utf-8"), dtype=np.uint8)
+    tmp = path + ".tmp"
+    np.savez(tmp, **arrays)
+    # numpy appends .npz to the temp name.
+    os.replace(tmp + ".npz" if not tmp.endswith(".npz") else tmp, path)
+
+
+def load_checkpoint(path: str, model: Module,
+                    optimizer: Optimizer | None = None) -> dict[str, Any]:
+    """Restore ``model`` (and ``optimizer``) in place; returns metadata."""
+    with np.load(path) as archive:
+        meta = json.loads(bytes(archive["__meta__"]).decode("utf-8"))
+        state = {key[len("param/"):]: archive[key]
+                 for key in archive.files if key.startswith("param/")}
+        model.load_state_dict(state)
+        if optimizer is not None:
+            opt_meta = meta.get("optimizer")
+            if opt_meta is None:
+                raise ValueError(f"{path} holds no optimizer state")
+            if opt_meta["type"] != type(optimizer).__name__:
+                raise ValueError(
+                    f"checkpoint optimizer {opt_meta['type']} != "
+                    f"{type(optimizer).__name__}")
+            optimizer.lr = float(opt_meta["lr"])
+            optimizer.step_count = int(opt_meta["step_count"])
+            for i in range(len(optimizer.params)):
+                if isinstance(optimizer, Adam) and f"adam_m/{i}" in archive:
+                    optimizer._m[i] = archive[f"adam_m/{i}"].copy()
+                    optimizer._v[i] = archive[f"adam_v/{i}"].copy()
+                elif isinstance(optimizer, SGD) and f"sgd_v/{i}" in archive:
+                    optimizer._velocity[i] = archive[f"sgd_v/{i}"].copy()
+    return meta

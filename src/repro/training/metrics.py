@@ -1,0 +1,41 @@
+"""Forecast-quality metrics (NumPy, computed in original signal units)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def mae(pred: np.ndarray, target: np.ndarray) -> float:
+    """Mean absolute error."""
+    return float(np.mean(np.abs(np.asarray(pred) - np.asarray(target))))
+
+
+def mse(pred: np.ndarray, target: np.ndarray) -> float:
+    """Mean squared error (Table 6 reports test MSE)."""
+    diff = np.asarray(pred) - np.asarray(target)
+    return float(np.mean(diff * diff))
+
+
+def rmse(pred: np.ndarray, target: np.ndarray) -> float:
+    return float(np.sqrt(mse(pred, target)))
+
+
+def masked_mae(pred: np.ndarray, target: np.ndarray,
+               null_value: float = 0.0) -> float:
+    """MAE over entries whose target is not ``null_value`` (missing data)."""
+    pred = np.asarray(pred)
+    target = np.asarray(target)
+    mask = target != null_value
+    if not mask.any():
+        return 0.0
+    return float(np.mean(np.abs(pred[mask] - target[mask])))
+
+
+def mape(pred: np.ndarray, target: np.ndarray, eps: float = 1e-3) -> float:
+    """Mean absolute percentage error over non-near-zero targets."""
+    pred = np.asarray(pred)
+    target = np.asarray(target)
+    mask = np.abs(target) > eps
+    if not mask.any():
+        return 0.0
+    return float(np.mean(np.abs((pred[mask] - target[mask]) / target[mask])))

@@ -1,0 +1,25 @@
+"""Shared utilities: seeding, sizes, validation, errors."""
+
+from repro.utils.errors import (
+    CommunicatorError,
+    OutOfMemoryError,
+    ReproError,
+    ShapeError,
+)
+from repro.utils.seeding import derive_seed, new_rng, seed_everything
+from repro.utils.sizes import format_bytes, GB, KB, MB, TB
+
+__all__ = [
+    "CommunicatorError",
+    "OutOfMemoryError",
+    "ReproError",
+    "ShapeError",
+    "derive_seed",
+    "new_rng",
+    "seed_everything",
+    "format_bytes",
+    "KB",
+    "MB",
+    "GB",
+    "TB",
+]

@@ -1,0 +1,29 @@
+"""Exception hierarchy used across the library."""
+
+
+class ReproError(Exception):
+    """Base class for all library-specific errors."""
+
+
+class ShapeError(ReproError, ValueError):
+    """An array had an incompatible or invalid shape."""
+
+
+class OutOfMemoryError(ReproError, MemoryError):
+    """A simulated memory space exceeded its capacity.
+
+    Mirrors the OOM crashes the paper reports when standard preprocessing of
+    PeMS exceeds a Polaris node's 512 GB of RAM (paper Fig. 2 / Fig. 6).
+    """
+
+    def __init__(self, message: str, *, space: str = "", requested: int = 0,
+                 capacity: int = 0, in_use: int = 0):
+        super().__init__(message)
+        self.space = space
+        self.requested = requested
+        self.capacity = capacity
+        self.in_use = in_use
+
+
+class CommunicatorError(ReproError, RuntimeError):
+    """A collective or point-to-point operation was used incorrectly."""

@@ -1,0 +1,21 @@
+"""Byte-size constants and human-readable formatting."""
+
+from __future__ import annotations
+
+KB = 1024
+MB = 1024**2
+GB = 1024**3
+TB = 1024**4
+
+_UNITS = [(TB, "TB"), (GB, "GB"), (MB, "MB"), (KB, "KB")]
+
+
+def format_bytes(n: int | float) -> str:
+    """Format a byte count the way the paper's tables do (e.g. ``'2.54 GB'``)."""
+    n = float(n)
+    sign = "-" if n < 0 else ""
+    n = abs(n)
+    for unit, name in _UNITS:
+        if n >= unit:
+            return f"{sign}{n / unit:.2f} {name}"
+    return f"{sign}{n:.0f} B"

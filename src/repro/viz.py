@@ -1,0 +1,90 @@
+"""Terminal plots for the paper's figures (no matplotlib dependency).
+
+Renders line charts and grouped bar charts as Unicode text so the
+experiment CLI can show Figure 2/5/6/7-shaped output directly in a
+terminal or CI log.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+_BARS = " ▁▂▃▄▅▆▇█"
+
+
+def sparkline(values: Sequence[float]) -> str:
+    """One-line mini chart of a series."""
+    vals = [float(v) for v in values]
+    if not vals:
+        return ""
+    lo, hi = min(vals), max(vals)
+    span = hi - lo or 1.0
+    return "".join(_BARS[int((v - lo) / span * (len(_BARS) - 1))] for v in vals)
+
+
+def line_plot(series: dict[str, Sequence[tuple[float, float]]], *,
+              width: int = 64, height: int = 16, title: str = "",
+              ylabel: str = "", xlabel: str = "") -> str:
+    """Multi-series ASCII line plot from ``{label: [(x, y), ...]}``."""
+    points = [(x, y) for pts in series.values() for x, y in pts]
+    if not points:
+        raise ValueError("nothing to plot")
+    xs = [p[0] for p in points]
+    ys = [p[1] for p in points]
+    x_lo, x_hi = min(xs), max(xs)
+    y_lo, y_hi = min(ys), max(ys)
+    x_span = (x_hi - x_lo) or 1.0
+    y_span = (y_hi - y_lo) or 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    markers = "*+ox#@%&"
+    for (label, pts), marker in zip(series.items(), markers):
+        for x, y in pts:
+            col = int((x - x_lo) / x_span * (width - 1))
+            row = height - 1 - int((y - y_lo) / y_span * (height - 1))
+            grid[row][col] = marker
+
+    lines = []
+    if title:
+        lines.append(title)
+    for i, row in enumerate(grid):
+        y_val = y_hi - i / (height - 1) * y_span if height > 1 else y_hi
+        prefix = f"{y_val:10.3g} |" if i % 4 == 0 or i == height - 1 else \
+            " " * 10 + " |"
+        lines.append(prefix + "".join(row))
+    lines.append(" " * 11 + "-" * width)
+    lines.append(f"{'':11}{x_lo:<10.4g}{'':{max(width - 20, 1)}}{x_hi:>10.4g}")
+    if xlabel:
+        lines.append(f"{'':11}{xlabel:^{width}}")
+    legend = "   ".join(f"{m} {label}" for (label, _), m
+                        in zip(series.items(), markers))
+    lines.append(f"{'':11}legend: {legend}")
+    if ylabel:
+        lines.insert(1 if title else 0, f"[y: {ylabel}]")
+    return "\n".join(lines)
+
+
+def bar_chart(groups: dict[str, dict[str, float]], *, width: int = 40,
+              title: str = "", unit: str = "") -> str:
+    """Horizontal grouped bars from ``{group: {segment: value}}``.
+
+    Used for the Figure 7/9 style stacked compute/communication bars.
+    """
+    if not groups:
+        raise ValueError("nothing to plot")
+    totals = {g: sum(segs.values()) for g, segs in groups.items()}
+    peak = max(totals.values()) or 1.0
+    seg_chars = {}
+    palette = "█▓▒░"
+    lines = [title] if title else []
+    for group, segs in groups.items():
+        bar = ""
+        for name, value in segs.items():
+            if name not in seg_chars:
+                seg_chars[name] = palette[len(seg_chars) % len(palette)]
+            bar += seg_chars[name] * max(int(value / peak * width), 0)
+        lines.append(f"{group:>12} |{bar:<{width}}| "
+                     f"{totals[group]:.1f}{unit}")
+    legend = "  ".join(f"{c}={n}" for n, c in seg_chars.items())
+    lines.append(f"{'':>12}  {legend}")
+    return "\n".join(lines)

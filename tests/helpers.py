@@ -1,0 +1,42 @@
+"""Shared test utilities: numerical gradient checking."""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from repro.autograd.tensor import Tensor
+
+
+def numerical_grad(f: Callable[[np.ndarray], float], x: np.ndarray,
+                   eps: float = 1e-6) -> np.ndarray:
+    """Central-difference gradient of scalar-valued ``f`` at ``x``."""
+    x = np.asarray(x, dtype=np.float64)
+    grad = np.zeros_like(x)
+    it = np.nditer(x, flags=["multi_index"])
+    while not it.finished:
+        idx = it.multi_index
+        xp = x.copy(); xp[idx] += eps
+        xm = x.copy(); xm[idx] -= eps
+        grad[idx] = (f(xp) - f(xm)) / (2 * eps)
+        it.iternext()
+    return grad
+
+
+def check_gradient(build: Callable[[Tensor], "Tensor"], x: np.ndarray,
+                   atol: float = 1e-6, rtol: float = 1e-4) -> None:
+    """Assert autograd gradient of ``build(x).sum()`` matches numerics."""
+    x = np.asarray(x, dtype=np.float64)
+    t = Tensor(x, requires_grad=True, dtype=np.float64)
+    out = build(t)
+    loss = out.sum()
+    loss.backward()
+    assert t.grad is not None, "no gradient accumulated"
+
+    def f(arr: np.ndarray) -> float:
+        t2 = Tensor(arr, dtype=np.float64)
+        return float(build(t2).sum().data)
+
+    num = numerical_grad(f, x)
+    np.testing.assert_allclose(t.grad, num, atol=atol, rtol=rtol)

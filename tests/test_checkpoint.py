@@ -1,0 +1,119 @@
+"""Tests for checkpoint save/restore."""
+
+import numpy as np
+import pytest
+
+from repro.graph import dual_random_walk_supports, random_sensor_network
+from repro.models import PGTDCRNN
+from repro.optim import SGD, Adam
+from repro.training.checkpoint import load_checkpoint, save_checkpoint
+from repro.autograd.tensor import Tensor
+
+
+@pytest.fixture
+def setup():
+    g = random_sensor_network(8, seed=0)
+    supports = dual_random_walk_supports(g.weights)
+
+    def factory(seed=0):
+        return PGTDCRNN(supports, 4, 2, hidden_dim=8, seed=seed)
+    return factory
+
+
+def _train_steps(model, opt, n=3, seed=0):
+    rng = np.random.default_rng(seed)
+    for _ in range(n):
+        x = rng.standard_normal((4, 4, 8, 2)).astype(np.float32)
+        y = rng.standard_normal((4, 4, 8, 1)).astype(np.float32)
+        loss = ((model(Tensor(x)) - y) ** 2).mean()
+        opt.zero_grad()
+        loss.backward()
+        opt.step()
+
+
+class TestCheckpoint:
+    def test_roundtrip_parameters(self, setup, tmp_path):
+        model = setup()
+        opt = Adam(model.parameters(), lr=0.01)
+        _train_steps(model, opt)
+        path = str(tmp_path / "ckpt.npz")
+        save_checkpoint(path, model, opt, epoch=3, extra={"note": "x"})
+
+        model2 = setup(seed=99)  # different init
+        opt2 = Adam(model2.parameters(), lr=0.5)
+        meta = load_checkpoint(path, model2, opt2)
+        assert meta["epoch"] == 3
+        assert meta["extra"] == {"note": "x"}
+        for (n1, p1), (n2, p2) in zip(model.named_parameters(),
+                                      model2.named_parameters()):
+            np.testing.assert_array_equal(p1.data, p2.data)
+        assert opt2.lr == 0.01
+        assert opt2.step_count == opt.step_count
+
+    def test_resume_training_continues_identically(self, setup, tmp_path):
+        """Train 6 steps straight vs 3 + checkpoint + 3 — identical."""
+        straight = setup()
+        opt_s = Adam(straight.parameters(), lr=0.01)
+        _train_steps(straight, opt_s, n=6, seed=1)
+
+        part1 = setup()
+        opt_1 = Adam(part1.parameters(), lr=0.01)
+        rng = np.random.default_rng(1)
+        def step(model, opt):
+            x = rng.standard_normal((4, 4, 8, 2)).astype(np.float32)
+            y = rng.standard_normal((4, 4, 8, 1)).astype(np.float32)
+            loss = ((model(Tensor(x)) - y) ** 2).mean()
+            opt.zero_grad(); loss.backward(); opt.step()
+        for _ in range(3):
+            step(part1, opt_1)
+        path = str(tmp_path / "resume.npz")
+        save_checkpoint(path, part1, opt_1)
+
+        part2 = setup(seed=5)
+        opt_2 = Adam(part2.parameters(), lr=0.9)
+        load_checkpoint(path, part2, opt_2)
+        for _ in range(3):
+            step(part2, opt_2)
+
+        for (n1, p1), (n2, p2) in zip(straight.named_parameters(),
+                                      part2.named_parameters()):
+            np.testing.assert_allclose(p1.data, p2.data, rtol=1e-6,
+                                       err_msg=n1)
+
+    def test_model_only_checkpoint(self, setup, tmp_path):
+        model = setup()
+        path = str(tmp_path / "model.npz")
+        save_checkpoint(path, model)
+        meta = load_checkpoint(path, setup(seed=3))
+        assert meta["optimizer"] is None
+
+    def test_optimizer_type_mismatch(self, setup, tmp_path):
+        model = setup()
+        opt = Adam(model.parameters(), lr=0.01)
+        _train_steps(model, opt, n=1)
+        path = str(tmp_path / "adam.npz")
+        save_checkpoint(path, model, opt)
+        with pytest.raises(ValueError):
+            load_checkpoint(path, setup(), SGD(setup().parameters(), lr=0.1))
+
+    def test_loading_optimizer_from_model_only(self, setup, tmp_path):
+        model = setup()
+        path = str(tmp_path / "m.npz")
+        save_checkpoint(path, model)
+        with pytest.raises(ValueError):
+            load_checkpoint(path, setup(), Adam(setup().parameters(), lr=0.1))
+
+    def test_sgd_momentum_roundtrip(self, setup, tmp_path):
+        model = setup()
+        opt = SGD(model.parameters(), lr=0.01, momentum=0.9)
+        _train_steps(model, opt, n=2)
+        path = str(tmp_path / "sgd.npz")
+        save_checkpoint(path, model, opt)
+        model2 = setup(seed=4)
+        opt2 = SGD(model2.parameters(), lr=0.5, momentum=0.9)
+        load_checkpoint(path, model2, opt2)
+        for v1, v2 in zip(opt._velocity, opt2._velocity):
+            if v1 is None:
+                assert v2 is None
+            else:
+                np.testing.assert_array_equal(v1, v2)

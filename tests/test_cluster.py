@@ -1,0 +1,117 @@
+"""Unit tests for cluster topology and cost models."""
+
+import numpy as np
+import pytest
+
+from repro.cluster import ClusterTopology, CommCostModel, PFSModel
+
+
+class TestTopology:
+    def test_paper_gpu_to_node_mapping(self):
+        # 4, 8, 16, 32, 64, 128 GPUs -> 1, 2, 4, 8, 16, 32 Polaris nodes.
+        for gpus, nodes in [(4, 1), (8, 2), (16, 4), (32, 8), (64, 16),
+                            (128, 32)]:
+            assert ClusterTopology(gpus).num_nodes == nodes
+
+    def test_node_of_and_local_rank(self):
+        t = ClusterTopology(8)
+        assert t.node_of(0) == 0 and t.node_of(5) == 1
+        assert t.local_rank(5) == 1
+
+    def test_same_node(self):
+        t = ClusterTopology(8)
+        assert t.same_node(0, 3)
+        assert not t.same_node(3, 4)
+
+    def test_spans_nodes(self):
+        assert not ClusterTopology(4).spans_nodes()
+        assert ClusterTopology(5).spans_nodes()
+
+    def test_rank_bounds(self):
+        t = ClusterTopology(4)
+        with pytest.raises(IndexError):
+            t.node_of(4)
+
+    def test_world_size_positive(self):
+        with pytest.raises(ValueError):
+            ClusterTopology(0)
+
+
+class TestCommCostModel:
+    def _model(self, world):
+        return CommCostModel(ClusterTopology(world))
+
+    def test_allreduce_zero_for_single_rank(self):
+        assert self._model(1).allreduce_time(10**6) == 0.0
+
+    def test_allreduce_ring_formula(self):
+        m = self._model(8)
+        p, n = 8, 10**6
+        expected = 2 * (p - 1) * m.alpha + 2 * (p - 1) / p * n / m.beta_inter
+        assert m.allreduce_time(n) == pytest.approx(expected)
+
+    def test_allreduce_intranode_uses_nvlink(self):
+        intra = self._model(4).allreduce_time(10**8)
+        inter = self._model(8).allreduce_time(10**8)
+        assert intra < inter
+
+    def test_allreduce_latency_grows_with_world(self):
+        small = self._model(8).allreduce_time(1024)
+        large = self._model(128).allreduce_time(1024)
+        assert large > small
+
+    def test_broadcast_log_rounds(self):
+        m = self._model(16)
+        n = 10**6
+        expected = 4 * (m.alpha + n / m.beta_inter)
+        assert m.broadcast_time(n) == pytest.approx(expected)
+
+    def test_allgather(self):
+        m = self._model(8)
+        assert m.allgather_time(10**6) == pytest.approx(
+            7 * (m.alpha + 10**6 / m.beta_inter))
+
+    def test_p2p_same_node_faster(self):
+        m = self._model(8)
+        assert m.p2p_time(10**7, same_node=True) < m.p2p_time(10**7)
+
+    def test_contended_fetch_shares_fabric(self):
+        m = self._model(8)
+        t = m.contended_fetch_time(100e9)
+        assert t == pytest.approx(100e9 / m.fabric_aggregate_bw, rel=0.01)
+
+    def test_negative_bytes_rejected(self):
+        with pytest.raises(ValueError):
+            self._model(4).p2p_time(-5)
+        with pytest.raises(ValueError):
+            self._model(4).contended_fetch_time(-5)
+
+
+class TestPFSModel:
+    def test_deterministic_in_seed(self):
+        pfs = PFSModel()
+        a = pfs.read_time(10**9, seed=1)
+        b = pfs.read_time(10**9, seed=1)
+        assert a == b
+
+    def test_jitter_spreads_times(self):
+        pfs = PFSModel()
+        times = [pfs.read_time(10**10, seed=i) for i in range(40)]
+        assert max(times) > 1.3 * min(times)  # real I/O variance
+
+    def test_jitter_bounded(self):
+        pfs = PFSModel(read_bw=1e9, jitter=0.5)
+        base = 1e9 / 1e9
+        for i in range(40):
+            t = pfs.read_time(10**9, seed=i)
+            assert 0.5 * base <= t <= 1.5 * base + 1e-9
+
+    def test_parallel_readers_mild_contention(self):
+        pfs = PFSModel(jitter=0.0)
+        t1 = pfs.read_time(10**9, parallel_readers=1)
+        t128 = pfs.read_time(10**9, parallel_readers=128)
+        assert t1 < t128 < 3 * t1
+
+    def test_negative_bytes_rejected(self):
+        with pytest.raises(ValueError):
+            PFSModel().read_time(-1)

@@ -1,0 +1,154 @@
+"""Unit tests for index-batching — the paper's core contribution."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import load_dataset
+from repro.hardware.memory import MemorySpace
+from repro.preprocessing import (
+    IndexDataset,
+    num_snapshots,
+    standard_preprocess,
+)
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return load_dataset("pems-bay", nodes=10, entries=200, seed=2)
+
+
+@pytest.fixture(scope="module")
+def index_ds(dataset):
+    return IndexDataset.from_dataset(dataset)
+
+
+class TestConstruction:
+    def test_counts(self, dataset, index_ds):
+        assert index_ds.num_snapshots == num_snapshots(200, 12)
+        assert index_ds.num_nodes == 10
+        assert index_ds.num_features == 2  # time-of-day appended
+
+    def test_split_sizes_follow_70_10_20(self, index_ds):
+        n = index_ds.num_snapshots
+        assert len(index_ds.split_starts("train")) == round(n * 0.7)
+        assert (len(index_ds.split_starts("train"))
+                + len(index_ds.split_starts("val"))
+                + len(index_ds.split_starts("test"))) == n
+
+    def test_splits_disjoint_and_ordered(self, index_ds):
+        tr = index_ds.split_starts("train")
+        va = index_ds.split_starts("val")
+        te = index_ds.split_starts("test")
+        assert tr[-1] < va[0] <= va[-1] < te[0]
+
+    def test_unknown_split(self, index_ds):
+        with pytest.raises(KeyError):
+            index_ds.split_starts("validation")
+
+    def test_resident_bytes_matches_eq2(self, dataset, index_ds):
+        from repro.preprocessing import index_nbytes
+        expected = index_nbytes(200, 10, 2, 12)
+        assert index_ds.resident_nbytes == expected
+
+
+class TestZeroCopy:
+    def test_snapshot_views_share_base(self, index_ds):
+        x, y = index_ds.snapshot(3)
+        assert x.base is index_ds.data
+        assert y.base is index_ds.data
+
+    def test_snapshot_allocates_nothing(self, index_ds):
+        x, y = index_ds.snapshot(0)
+        assert x.flags.owndata is False and y.flags.owndata is False
+
+    def test_snapshot_window_semantics(self, index_ds):
+        h = index_ds.horizon
+        x, y = index_ds.snapshot(7)
+        np.testing.assert_array_equal(x, index_ds.data[7:7 + h])
+        np.testing.assert_array_equal(y, index_ds.data[7 + h:7 + 2 * h])
+
+    def test_out_of_range_snapshot(self, index_ds):
+        with pytest.raises(IndexError):
+            index_ds.snapshot(index_ds.num_snapshots)
+        with pytest.raises(IndexError):
+            index_ds.snapshot(-1)
+
+
+class TestEquivalenceWithStandard:
+    """Index-batching must feed the model the exact same snapshots."""
+
+    @pytest.mark.parametrize("split", ["train", "val", "test"])
+    def test_bitwise_equal_splits(self, dataset, index_ds, split):
+        std = standard_preprocess(dataset)
+        xs, ys = std.split(split)
+        xi, yi = index_ds.materialize_split(split)
+        np.testing.assert_array_equal(xs, xi)
+        np.testing.assert_array_equal(ys, yi)
+
+    def test_scaler_statistics_identical(self, dataset, index_ds):
+        std = standard_preprocess(dataset)
+        np.testing.assert_array_equal(std.scaler.mean_, index_ds.scaler.mean_)
+        np.testing.assert_array_equal(std.scaler.std_, index_ds.scaler.std_)
+
+    @pytest.mark.parametrize("horizon", [1, 3, 12, 24])
+    def test_equivalence_across_horizons(self, dataset, horizon):
+        std = standard_preprocess(dataset, horizon=horizon)
+        idx = IndexDataset.from_dataset(dataset, horizon=horizon)
+        xs, ys = std.split("train")
+        xi, yi = idx.materialize_split("train")
+        np.testing.assert_array_equal(xs, xi)
+        np.testing.assert_array_equal(ys, yi)
+
+
+class TestGather:
+    def test_gather_shapes(self, index_ds):
+        x, y = index_ds.gather(np.array([0, 5, 9]))
+        h, n, f = index_ds.horizon, index_ds.num_nodes, index_ds.num_features
+        assert x.shape == (3, h, n, f) and y.shape == (3, h, n, f)
+
+    def test_gather_matches_snapshots(self, index_ds):
+        starts = np.array([2, 17, 40])
+        x, y = index_ds.gather(starts)
+        for i, s in enumerate(starts):
+            xs, ys = index_ds.snapshot(int(s))
+            np.testing.assert_array_equal(x[i], xs)
+            np.testing.assert_array_equal(y[i], ys)
+
+    def test_gather_charges_transient_batch(self, dataset):
+        space = MemorySpace("gpu")
+        idx = IndexDataset.from_dataset(dataset)
+        before_peak = space.peak
+        x, y = idx.gather(np.arange(4), space=space)
+        assert space.in_use == 0          # batch charged then released
+        assert space.peak >= before_peak + x.nbytes + y.nbytes
+
+
+class TestMemoryCharging:
+    def test_resident_is_single_copy_plus_indices(self, dataset):
+        space = MemorySpace("host")
+        idx = IndexDataset.from_dataset(dataset, space=space)
+        assert space.in_use == idx.data.nbytes + idx.starts.nbytes
+
+    def test_peak_includes_spike(self, dataset):
+        """The transient spike: raw + augmented + standardize scratch."""
+        space = MemorySpace("host")
+        idx = IndexDataset.from_dataset(dataset, space=space)
+        expected_peak = (dataset.signals.nbytes + 2 * idx.data.nbytes
+                         + idx.starts.nbytes)
+        assert space.peak == expected_peak
+
+    def test_release(self, dataset):
+        space = MemorySpace("host")
+        idx = IndexDataset.from_dataset(dataset, space=space)
+        idx.release(space)
+        assert space.in_use == 0
+
+    def test_index_far_smaller_than_standard(self, dataset):
+        """The headline claim at small scale: index << standard bytes."""
+        s1 = MemorySpace("std")
+        s2 = MemorySpace("idx")
+        standard_preprocess(dataset, space=s1)
+        IndexDataset.from_dataset(dataset, space=s2)
+        # Standard pipeline resident (split copies) dwarfs index resident.
+        assert s1.in_use > 5 * s2.in_use
+        assert s1.peak > 3 * s2.peak

@@ -1,0 +1,201 @@
+"""Unit tests for the model zoo."""
+
+import numpy as np
+import pytest
+
+from repro.autograd import Tensor
+from repro.graph import dual_random_walk_supports, random_sensor_network
+from repro.models import A3TGCN, DCRNN, DiffusionConv, PGTDCRNN, STLLM, TGCN
+from repro.optim import Adam, l1_loss
+from repro.utils.errors import ShapeError
+
+N, H, F_IN, B = 12, 6, 2, 3
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return random_sensor_network(N, seed=0)
+
+
+@pytest.fixture(scope="module")
+def supports(graph):
+    return dual_random_walk_supports(graph.weights)
+
+
+def _x(batch=B, seed=0):
+    return np.random.default_rng(seed).standard_normal(
+        (batch, H, N, F_IN)).astype(np.float32)
+
+
+def _y(batch=B, seed=1):
+    return np.random.default_rng(seed).standard_normal(
+        (batch, H, N, 1)).astype(np.float32)
+
+
+class TestDiffusionConv:
+    def test_output_shape(self, supports):
+        conv = DiffusionConv(supports, 5, 7, k_hops=2)
+        out = conv(Tensor(np.ones((B, N, 5), dtype=np.float32)))
+        assert out.shape == (B, N, 7)
+
+    def test_num_matrices(self, supports):
+        conv = DiffusionConv(supports, 5, 7, k_hops=3)
+        assert conv.num_matrices == 1 + 2 * 3
+
+    def test_k0_is_dense_only(self, supports):
+        conv = DiffusionConv(supports, 4, 4, k_hops=0)
+        assert conv.num_matrices == 1
+
+    def test_spatial_mixing_actually_happens(self, supports):
+        """A perturbation at one node must influence its neighbours."""
+        conv = DiffusionConv(supports, 1, 1, k_hops=2)
+        x = np.zeros((1, N, 1), dtype=np.float32)
+        base = conv(Tensor(x)).data
+        x2 = x.copy()
+        x2[0, 0, 0] = 5.0
+        pert = conv(Tensor(x2)).data
+        changed = np.nonzero(np.abs(pert - base)[0, :, 0] > 1e-7)[0]
+        assert len(changed) > 1  # more nodes than just node 0
+
+    def test_input_validation(self, supports):
+        conv = DiffusionConv(supports, 5, 7)
+        with pytest.raises(ShapeError):
+            conv(Tensor(np.ones((B, N + 1, 5))))
+        with pytest.raises(ValueError):
+            DiffusionConv(supports, 5, 7, k_hops=-1)
+        with pytest.raises(ValueError):
+            DiffusionConv([], 5, 7)
+
+    def test_flops_positive_and_scale_with_batch(self, supports):
+        conv = DiffusionConv(supports, 5, 7)
+        assert conv.flops(8) == pytest.approx(2 * conv.flops(4), rel=0.01)
+
+
+ALL_MODELS = ["dcrnn", "pgt", "tgcn", "a3tgcn", "stllm"]
+
+
+def _build(name, graph, supports):
+    if name == "dcrnn":
+        return DCRNN(supports, H, F_IN, hidden_dim=8, num_layers=2)
+    if name == "pgt":
+        return PGTDCRNN(supports, H, F_IN, hidden_dim=8)
+    if name == "tgcn":
+        return TGCN(graph.weights, H, F_IN, hidden_dim=8)
+    if name == "a3tgcn":
+        return A3TGCN(graph.weights, H, F_IN, hidden_dim=8, attention_dim=4)
+    if name == "stllm":
+        return STLLM(N, H, F_IN, dim=16, num_heads=2, num_blocks=2)
+    raise KeyError(name)
+
+
+class TestAllModels:
+    @pytest.mark.parametrize("name", ALL_MODELS)
+    def test_output_shape(self, name, graph, supports):
+        model = _build(name, graph, supports)
+        out = model(Tensor(_x()))
+        assert out.shape == (B, H, N, 1)
+
+    @pytest.mark.parametrize("name", ALL_MODELS)
+    def test_all_trainable_params_get_grads(self, name, graph, supports):
+        model = _build(name, graph, supports)
+        loss = l1_loss(model(Tensor(_x())), _y())
+        model.zero_grad()
+        loss.backward()
+        for pname, p in model.named_parameters():
+            if p.requires_grad:
+                assert p.grad is not None, f"{name}: no grad for {pname}"
+                assert np.isfinite(p.grad).all()
+
+    @pytest.mark.parametrize("name", ALL_MODELS)
+    def test_input_validation(self, name, graph, supports):
+        model = _build(name, graph, supports)
+        with pytest.raises(ShapeError):
+            model(Tensor(np.ones((B, H + 1, N, F_IN), dtype=np.float32)))
+        with pytest.raises(ShapeError):
+            model(Tensor(np.ones((B, H, N, F_IN + 2), dtype=np.float32)))
+
+    @pytest.mark.parametrize("name", ALL_MODELS)
+    def test_predict_no_grad(self, name, graph, supports):
+        model = _build(name, graph, supports)
+        out = model.predict(_x())
+        assert isinstance(out, np.ndarray)
+        assert out.shape == (B, H, N, 1)
+
+    @pytest.mark.parametrize("name", ["pgt", "tgcn", "stllm"])
+    def test_can_overfit_tiny_batch(self, name, graph, supports):
+        """Sanity: Adam fits a learnable target on a fixed batch."""
+        model = _build(name, graph, supports)
+        x = _x(seed=5)
+        y = (0.5 * x[..., :1] + 0.1).astype(np.float32)  # learnable map
+        opt = Adam([p for p in model.parameters() if p.requires_grad], lr=0.02)
+        first = None
+        for _ in range(60):
+            loss = l1_loss(model(Tensor(x)), y)
+            if first is None:
+                first = loss.item()
+            opt.zero_grad()
+            loss.backward()
+            opt.step()
+        assert loss.item() < 0.5 * first
+
+
+class TestDCRNN:
+    def test_teacher_forcing_prob_decays(self, supports):
+        model = DCRNN(supports, H, F_IN, hidden_dim=8, cl_decay_steps=10)
+        p0 = model._teacher_forcing_prob()
+        model.global_step = 100
+        assert model._teacher_forcing_prob() < p0
+
+    def test_cl_zero_disables_teacher_forcing(self, supports):
+        model = DCRNN(supports, H, F_IN, hidden_dim=8, cl_decay_steps=0)
+        assert model._teacher_forcing_prob() == 0.0
+
+    def test_global_step_advances_in_training_only(self, supports):
+        model = DCRNN(supports, H, F_IN, hidden_dim=8)
+        model.train()
+        model(Tensor(_x()), targets=_y())
+        assert model.global_step == 1
+        model.eval()
+        model(Tensor(_x()))
+        assert model.global_step == 1
+
+    def test_eval_deterministic(self, supports):
+        model = DCRNN(supports, H, F_IN, hidden_dim=8)
+        model.eval()
+        a = model(Tensor(_x())).data
+        b = model(Tensor(_x())).data
+        np.testing.assert_array_equal(a, b)
+
+
+class TestSTLLM:
+    def test_frozen_blocks_receive_no_grads(self, graph, supports):
+        model = STLLM(N, H, F_IN, dim=16, num_heads=2, num_blocks=2,
+                      frozen_blocks=1)
+        loss = l1_loss(model(Tensor(_x())), _y())
+        model.zero_grad()
+        loss.backward()
+        frozen = model.blocks[0]
+        live = model.blocks[1]
+        assert all(p.grad is None for p in frozen.parameters())
+        assert any(p.grad is not None for p in live.parameters())
+
+    def test_frozen_exceeds_blocks_rejected(self):
+        with pytest.raises(ValueError):
+            STLLM(N, H, F_IN, dim=16, num_blocks=2, frozen_blocks=3)
+
+    def test_spatial_embedding_distinguishes_nodes(self, graph, supports):
+        model = STLLM(N, H, F_IN, dim=16, num_heads=2, num_blocks=1)
+        x = np.ones((1, H, N, F_IN), dtype=np.float32)  # identical nodes
+        out = model(Tensor(x)).data[0, 0, :, 0]
+        assert out.std() > 1e-4  # node embeddings break the symmetry
+
+
+class TestDeterministicInit:
+    @pytest.mark.parametrize("name", ALL_MODELS)
+    def test_same_seed_same_weights(self, name, graph, supports):
+        a = _build(name, graph, supports)
+        b = _build(name, graph, supports)
+        for (na, pa), (nb, pb) in zip(a.named_parameters(),
+                                      b.named_parameters()):
+            assert na == nb
+            np.testing.assert_array_equal(pa.data, pb.data)

@@ -1,0 +1,183 @@
+"""Tests for the analytic full-scale performance model.
+
+These pin the *shapes* of the paper's headline runtime results; exact
+bands are asserted in the benchmark harness.
+"""
+
+import numpy as np
+import pytest
+
+from repro.datasets import get_spec
+from repro.training.perfmodel import (
+    EFFICIENCY_PGT_SMALL,
+    ModelPerf,
+    TrainingPerfModel,
+    dcgru_cell_flops,
+    dcgru_cell_params,
+    dcrnn_perf,
+    pgt_dcrnn_perf,
+    standard_windowed_bytes,
+    stllm_perf,
+)
+
+
+@pytest.fixture(scope="module")
+def pems_model():
+    spec = get_spec("pems")
+    m = pgt_dcrnn_perf(spec.num_nodes, spec.horizon, spec.train_features)
+    return TrainingPerfModel(spec, m, 64)
+
+
+class TestFlopCounts:
+    def test_dcgru_flops_scale_with_nodes(self):
+        assert dcgru_cell_flops(2000, 2, 64) == pytest.approx(
+            2 * dcgru_cell_flops(1000, 2, 64), rel=0.01)
+
+    def test_dcgru_params_match_real_model(self):
+        """Analytic parameter count must equal the built model's."""
+        from repro.graph import dual_random_walk_supports, random_sensor_network
+        from repro.models.dcrnn import DCGRUCell
+        g = random_sensor_network(20, seed=0)
+        cell = DCGRUCell(dual_random_walk_supports(g.weights), 3, 16)
+        assert cell.num_parameters() == dcgru_cell_params(3, 16)
+
+    def test_pgt_flops_match_real_model_form(self):
+        """Analytic flops should track the built model's flop method."""
+        from repro.graph import dual_random_walk_supports, random_sensor_network
+        from repro.models import PGTDCRNN
+        g = random_sensor_network(30, seed=1)
+        model = PGTDCRNN(dual_random_walk_supports(g.weights), 12, 2,
+                         hidden_dim=64)
+        analytic = pgt_dcrnn_perf(30, 12, 2, 64).snapshot_flops
+        real = model.flops_per_snapshot()
+        assert analytic == pytest.approx(real, rel=0.25)
+
+    def test_dcrnn_heavier_than_pgt(self):
+        pgt = pgt_dcrnn_perf(1000, 12, 2)
+        full = dcrnn_perf(1000, 12, 2)
+        assert full.snapshot_flops > 3 * pgt.snapshot_flops
+
+    def test_stllm_param_bytes_positive(self):
+        m = stllm_perf(325, 12, 2)
+        assert m.param_bytes > 10**6
+
+
+class TestPreprocessTimes:
+    def test_index_preprocessing_within_paper_band(self, pems_model):
+        """Paper §5.3.1: index preprocessing fluctuates 11-40 s."""
+        times = [pems_model.preprocess_seconds("index", seed=i)
+                 for i in range(20)]
+        assert min(times) > 5 and max(times) < 45
+        assert max(times) > 1.5 * min(times)  # visible I/O jitter
+
+    def test_dist_index_time_independent_of_world(self, pems_model):
+        t4 = pems_model.preprocess_seconds("dist-index", 4, seed=0)
+        t128 = pems_model.preprocess_seconds("dist-index", 128, seed=0)
+        assert t128 < 2 * t4  # no scaling with workers (modulo contention)
+
+    def test_ddp_preprocessing_plateau_near_300s(self, pems_model):
+        """Paper: DDP preprocessing is stable, max ~305 s at 128 workers."""
+        times = [pems_model.preprocess_seconds("baseline-ddp", w, seed=0)
+                 for w in (4, 8, 16, 32, 64, 128)]
+        assert all(200 < t < 400 for t in times)
+        assert times[-1] == max(times)  # slight growth at 128
+
+    def test_unknown_strategy(self, pems_model):
+        with pytest.raises(ValueError):
+            pems_model.preprocess_seconds("bogus")
+
+
+class TestEpochModel:
+    def test_gpu_index_faster_than_index(self, pems_model):
+        """Table 4: GPU residency removes per-batch transfers (~13%)."""
+        idx = pems_model.epoch_breakdown("index")
+        gpu = pems_model.epoch_breakdown("gpu-index")
+        assert gpu.total < idx.total
+        assert idx.h2d > 0 and gpu.h2d == 0
+        saving = 1 - gpu.total / idx.total
+        assert 0.05 < saving < 0.25
+
+    def test_compute_scales_inverse_world(self, pems_model):
+        e4 = pems_model.epoch_breakdown("dist-index", 4)
+        e32 = pems_model.epoch_breakdown("dist-index", 32)
+        assert e4.compute / e32.compute == pytest.approx(8.0, rel=0.05)
+
+    def test_baseline_ddp_comm_dominates_at_scale(self, pems_model):
+        """Fig. 7 left: DDP becomes communication-bound."""
+        e = pems_model.epoch_breakdown("baseline-ddp", 64)
+        assert e.data_comm > e.compute
+
+    def test_dist_index_no_data_comm(self, pems_model):
+        e = pems_model.epoch_breakdown("dist-index", 64)
+        assert e.data_comm == 0.0
+        assert e.grad_comm > 0.0
+
+    def test_generalized_comm_much_smaller_than_ddp(self, pems_model):
+        """Fig. 9: raw-range fetches cut volume by ~2*horizon."""
+        ddp = pems_model.epoch_breakdown("baseline-ddp", 16)
+        gen = pems_model.epoch_breakdown("generalized-index", 16)
+        assert ddp.data_comm > 10 * gen.data_comm
+
+    def test_framework_overhead_multiworker_only(self, pems_model):
+        assert pems_model.epoch_breakdown("index", 1).framework == 0.0
+        assert pems_model.epoch_breakdown("dist-index", 4).framework > 0.0
+
+
+class TestHeadlineShapes:
+    def test_single_gpu_runtimes_match_table4(self, pems_model):
+        """Table 4: 333.58 min (index) / 290.65 min (GPU-index)."""
+        idx = pems_model.run("index", 1, 30, seed=0)
+        gpu = pems_model.run("gpu-index", 1, 30, seed=0)
+        assert idx.total_seconds / 60 == pytest.approx(333.58, rel=0.05)
+        assert gpu.total_seconds / 60 == pytest.approx(290.65, rel=0.05)
+
+    def test_speedup_ratios_match_paper_endpoints(self, pems_model):
+        """§5.3.2: 2.16x at 4 GPUs, 11.78x at 128 GPUs vs baseline DDP."""
+        r4 = (pems_model.run("baseline-ddp", 4, 30).total_seconds
+              / pems_model.run("dist-index", 4, 30).total_seconds)
+        r128 = (pems_model.run("baseline-ddp", 128, 30).total_seconds
+                / pems_model.run("dist-index", 128, 30).total_seconds)
+        assert r4 == pytest.approx(2.16, rel=0.15)
+        assert r128 == pytest.approx(11.78, rel=0.25)
+
+    def test_scaling_knee_at_64_128(self, pems_model):
+        """§5.3.1: near-linear to 32 GPUs, sublinear at 64/128."""
+        base = pems_model.run("dist-index", 4, 30).training_seconds
+        eff = {}
+        for w in (8, 16, 32, 64, 128):
+            t = pems_model.run("dist-index", w, 30).training_seconds
+            eff[w] = (base / t) / (w / 4)
+        assert eff[8] > 0.9 and eff[16] > 0.85 and eff[32] > 0.75
+        assert eff[128] < eff[32]
+
+    def test_gpu_training_memory(self, pems_model):
+        """Table 4 GPU column: ~5.5 GB (index) vs ~18.6 GB (GPU-index)."""
+        from repro.utils.sizes import GB
+        small = pems_model.gpu_training_bytes(data_resident=False)
+        big = pems_model.gpu_training_bytes(data_resident=True)
+        assert 2 * GB < small < 9 * GB
+        assert 15 * GB < big < 25 * GB
+
+    def test_table2_runtime_gap(self):
+        """Table 2: DCRNN 68.48 min vs PGT-DCRNN 4.48 min (15.3x)."""
+        spec = get_spec("pems-all-la")
+        pgt = TrainingPerfModel(
+            spec, pgt_dcrnn_perf(spec.num_nodes, spec.horizon,
+                                 spec.train_features,
+                                 efficiency=EFFICIENCY_PGT_SMALL), 32)
+        dcr = TrainingPerfModel(
+            spec, dcrnn_perf(spec.num_nodes, spec.horizon,
+                             spec.train_features), 32)
+        t_pgt = pgt.run("index", 1, 1, include_validation=False).training_seconds
+        t_dcr = dcr.run("index", 1, 1, include_validation=False).training_seconds
+        assert t_dcr / t_pgt == pytest.approx(15.3, rel=0.35)
+        assert t_dcr / 60 == pytest.approx(68.48, rel=0.15)
+
+
+class TestWindowedBytes:
+    def test_half_of_eq1(self):
+        from repro.preprocessing import standard_preprocessed_nbytes
+        spec = get_spec("pems-bay")
+        assert 2 * standard_windowed_bytes(spec) == \
+            standard_preprocessed_nbytes(spec.num_entries, spec.num_nodes,
+                                         spec.train_features, spec.horizon)

@@ -1,0 +1,172 @@
+"""Unit tests for windows, scaler and the standard pipeline."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import load_dataset
+from repro.hardware.memory import MemorySpace
+from repro.preprocessing import (
+    StandardScaler,
+    num_snapshots,
+    split_bounds,
+    standard_preprocess,
+    window_starts,
+)
+from repro.utils.errors import OutOfMemoryError
+
+
+class TestWindows:
+    def test_num_snapshots_matches_paper_formula(self):
+        # entries - (2*horizon - 1)
+        assert num_snapshots(100, 12) == 100 - 23
+        assert num_snapshots(522, 4) == 522 - 7
+
+    def test_minimal_entries(self):
+        assert num_snapshots(2, 1) == 1
+        with pytest.raises(ValueError):
+            num_snapshots(23, 12)
+
+    def test_horizon_positive(self):
+        with pytest.raises(ValueError):
+            num_snapshots(100, 0)
+
+    def test_window_starts_contiguous(self):
+        s = window_starts(50, 5)
+        np.testing.assert_array_equal(s, np.arange(41))
+
+    def test_split_bounds_default(self):
+        train_end, val_end = split_bounds(100)
+        assert train_end == 70 and val_end == 80
+
+    def test_split_bounds_rounding(self):
+        train_end, val_end = split_bounds(7)
+        assert 0 <= train_end <= val_end <= 7
+
+    def test_split_bounds_bad_ratios(self):
+        with pytest.raises(ValueError):
+            split_bounds(100, (0.5, 0.5, 0.5))
+        with pytest.raises(ValueError):
+            split_bounds(100, (-0.1, 0.6, 0.5))
+
+
+class TestScaler:
+    def test_fit_transform_standardizes(self):
+        rng = np.random.default_rng(0)
+        data = rng.normal(50, 7, size=(1000, 4, 2))
+        s = StandardScaler().fit(data)
+        out = s.transform(data)
+        np.testing.assert_allclose(out.mean(axis=(0, 1)), 0.0, atol=1e-9)
+        np.testing.assert_allclose(out.std(axis=(0, 1)), 1.0, atol=1e-9)
+
+    def test_roundtrip(self):
+        rng = np.random.default_rng(1)
+        data = rng.normal(10, 3, size=(100, 5, 3))
+        s = StandardScaler().fit(data)
+        np.testing.assert_allclose(s.inverse_transform(s.transform(data)),
+                                   data, rtol=1e-10)
+
+    def test_inplace_transform_matches(self):
+        rng = np.random.default_rng(2)
+        data = rng.normal(0, 2, size=(50, 3, 2))
+        s = StandardScaler().fit(data)
+        expected = s.transform(data)
+        buf = data.copy()
+        s.transform(buf, out=buf)
+        np.testing.assert_array_equal(buf, expected)
+
+    def test_constant_channel_safe(self):
+        data = np.ones((10, 2, 2))
+        data[..., 1] = 5.0
+        s = StandardScaler().fit(data)
+        out = s.transform(data)
+        assert np.all(np.isfinite(out))
+
+    def test_channel_inverse(self):
+        data = np.random.default_rng(3).normal(60, 10, size=(100, 4, 2))
+        s = StandardScaler().fit(data)
+        z = s.transform(data)[..., 0]
+        np.testing.assert_allclose(s.inverse_transform_channel(z, 0),
+                                   data[..., 0], rtol=1e-10)
+
+    def test_unfitted_raises(self):
+        with pytest.raises(RuntimeError):
+            StandardScaler().transform(np.ones((3, 2)))
+
+    def test_1d_rejected(self):
+        from repro.utils.errors import ShapeError
+        with pytest.raises(ShapeError):
+            StandardScaler().fit(np.ones(5))
+
+
+class TestStandardPreprocess:
+    def _dataset(self, **kw):
+        return load_dataset("pems-bay", nodes=8, entries=150, seed=0, **kw)
+
+    def test_output_shapes(self):
+        pre = standard_preprocess(self._dataset())
+        n = num_snapshots(150, 12)
+        train_end, val_end = split_bounds(n)
+        assert pre.x_train.shape == (train_end, 12, 8, 2)
+        assert pre.y_val.shape == (val_end - train_end, 12, 8, 2)
+        assert pre.x_test.shape == (n - val_end, 12, 8, 2)
+
+    def test_y_is_shifted_x(self):
+        ds = self._dataset()
+        pre = standard_preprocess(ds)
+        # y of snapshot s equals x of snapshot s + horizon.
+        np.testing.assert_array_equal(pre.y_train[0], pre.x_train[12])
+
+    def test_time_feature_appended_for_traffic(self):
+        pre = standard_preprocess(self._dataset())
+        assert pre.x_train.shape[-1] == 2
+
+    def test_no_time_feature_for_epidemic(self):
+        ds = load_dataset("chickenpox-hungary", nodes=8, entries=100)
+        pre = standard_preprocess(ds)
+        assert pre.x_train.shape[-1] == 1
+
+    def test_stat_modes_differ_slightly(self):
+        ds = self._dataset()
+        raw = standard_preprocess(ds, stat_mode="raw")
+        stacked = standard_preprocess(ds, stat_mode="stacked")
+        # Different statistics conventions, but close.
+        assert not np.array_equal(raw.x_train, stacked.x_train)
+        np.testing.assert_allclose(raw.x_train, stacked.x_train, atol=0.2)
+
+    def test_invalid_stat_mode(self):
+        with pytest.raises(ValueError):
+            standard_preprocess(self._dataset(), stat_mode="bogus")
+
+    def test_split_accessor(self):
+        pre = standard_preprocess(self._dataset())
+        x, y = pre.split("val")
+        assert x is pre.x_val and y is pre.y_val
+        with pytest.raises(KeyError):
+            pre.split("bogus")
+
+    def test_memory_charging_and_release(self):
+        space = MemorySpace("test")
+        ds = self._dataset()
+        pre = standard_preprocess(ds, space=space)
+        # Residual: only the split copies remain charged.
+        assert space.in_use == pre.total_nbytes
+        assert space.peak > space.in_use
+        pre.release(space)
+        assert space.in_use == 0
+
+    def test_oom_when_capacity_too_small(self):
+        ds = self._dataset()
+        # Capacity fits the raw data but not the windowed stacks.
+        space = MemorySpace("tiny", capacity=3 * ds.signals.nbytes)
+        with pytest.raises(OutOfMemoryError) as exc:
+            standard_preprocess(ds, space=space)
+        assert exc.value.capacity == 3 * ds.signals.nbytes
+
+    def test_custom_horizon(self):
+        pre = standard_preprocess(self._dataset(), horizon=6)
+        assert pre.x_train.shape[1] == 6
+        assert pre.horizon == 6
+
+    def test_dtype_float32(self):
+        pre = standard_preprocess(self._dataset(), dtype=np.float32)
+        assert pre.x_train.dtype == np.float32

@@ -1,0 +1,211 @@
+"""Hypothesis property-based tests on the library's core invariants."""
+
+import numpy as np
+from hypothesis import assume, given, settings, strategies as st
+
+from repro.autograd import Tensor, unbroadcast
+from repro.batching.samplers import (
+    BatchShuffleSampler,
+    GlobalShuffleSampler,
+    LocalShuffleSampler,
+    partition_contiguous,
+)
+from repro.hardware.memory import MemorySpace
+from repro.preprocessing import (
+    StandardScaler,
+    index_nbytes,
+    num_snapshots,
+    split_bounds,
+    standard_preprocessed_nbytes,
+)
+from repro.preprocessing.index_batching import IndexDataset
+from repro.preprocessing.scaler import StandardScaler
+from repro.preprocessing.windows import window_starts
+from repro.utils.seeding import derive_seed
+
+
+# ---------------------------------------------------------------------------
+# Window arithmetic
+# ---------------------------------------------------------------------------
+@given(entries=st.integers(2, 5000), horizon=st.integers(1, 64))
+def test_snapshot_count_formula(entries, horizon):
+    assume(entries >= 2 * horizon)
+    n = num_snapshots(entries, horizon)
+    assert n == entries - (2 * horizon - 1)
+    # Every start must leave room for x and y windows.
+    starts = window_starts(entries, horizon)
+    assert starts[-1] + 2 * horizon <= entries
+
+
+@given(n=st.integers(1, 10_000))
+def test_split_bounds_partition(n):
+    train_end, val_end = split_bounds(n)
+    assert 0 <= train_end <= val_end <= n
+    # Ratios approximately respected for larger n.
+    if n >= 20:
+        assert abs(train_end / n - 0.7) < 0.06
+        assert abs((val_end - train_end) / n - 0.1) < 0.06
+
+
+@given(entries=st.integers(4, 500), horizon=st.integers(1, 24),
+       nodes=st.integers(1, 40), features=st.integers(1, 5))
+def test_memory_equations_consistency(entries, horizon, nodes, features):
+    assume(entries >= 2 * horizon)
+    eq1 = standard_preprocessed_nbytes(entries, nodes, features, horizon)
+    eq2 = index_nbytes(entries, nodes, features, horizon)
+    n_snap = num_snapshots(entries, horizon)
+    # eq1 is exactly 2 * snapshots * horizon window elements.
+    assert eq1 == 2 * n_snap * horizon * nodes * features * 8
+    # index is never larger than standard for horizon >= 1 and is strictly
+    # smaller whenever there is real window overlap.
+    if horizon >= 2 and n_snap > 1:
+        assert eq2 < eq1
+
+
+# ---------------------------------------------------------------------------
+# Index-batching == standard preprocessing (the paper's core equivalence)
+# ---------------------------------------------------------------------------
+@settings(max_examples=25, deadline=None)
+@given(entries=st.integers(48, 140), nodes=st.integers(2, 8),
+       horizon=st.integers(1, 10), seed=st.integers(0, 10**6))
+def test_index_equals_standard_everywhere(entries, nodes, horizon, seed):
+    from repro.datasets import load_dataset
+    from repro.preprocessing import standard_preprocess
+    assume(entries >= 4 * horizon)
+    ds = load_dataset("pems-bay", nodes=nodes, entries=entries, seed=seed)
+    std = standard_preprocess(ds, horizon=horizon)
+    idx = IndexDataset.from_dataset(ds, horizon=horizon)
+    for split in ("train", "val", "test"):
+        xs, ys = std.split(split)
+        if len(xs) == 0:
+            continue
+        xi, yi = idx.materialize_split(split)
+        np.testing.assert_array_equal(xs, xi)
+        np.testing.assert_array_equal(ys, yi)
+
+
+@settings(max_examples=30, deadline=None)
+@given(start=st.integers(0, 100))
+def test_snapshots_are_views(start):
+    from repro.datasets import load_dataset
+    ds = load_dataset("pems-bay", nodes=3, entries=150, seed=1)
+    idx = IndexDataset.from_dataset(ds)
+    assume(start < idx.num_snapshots)
+    x, y = idx.snapshot(start)
+    assert x.base is idx.data and y.base is idx.data
+
+
+# ---------------------------------------------------------------------------
+# Scaler
+# ---------------------------------------------------------------------------
+@settings(max_examples=40, deadline=None)
+@given(st.integers(0, 10**6), st.integers(2, 50), st.integers(1, 4))
+def test_scaler_roundtrip(seed, rows, features):
+    rng = np.random.default_rng(seed)
+    data = rng.normal(rng.uniform(-100, 100), rng.uniform(0.1, 50),
+                      size=(rows, 3, features))
+    s = StandardScaler().fit(data)
+    np.testing.assert_allclose(s.inverse_transform(s.transform(data)), data,
+                               rtol=1e-9, atol=1e-7)
+
+
+# ---------------------------------------------------------------------------
+# Samplers: every strategy must cover each rank's data exactly once
+# ---------------------------------------------------------------------------
+@settings(max_examples=30, deadline=None)
+@given(n=st.integers(8, 400), batch=st.integers(1, 16),
+       world=st.integers(1, 8), epoch=st.integers(0, 5),
+       kind=st.sampled_from(["global", "local", "batch"]))
+def test_sampler_plans_disjoint_and_valid(n, batch, world, epoch, kind):
+    cls = {"global": GlobalShuffleSampler, "local": LocalShuffleSampler,
+           "batch": BatchShuffleSampler}[kind]
+    sampler = cls(n, batch, world, seed=3, drop_last=False)
+    plan = sampler.epoch_plan(epoch)
+    assert len(plan) == world
+    seen = []
+    for rank_batches in plan:
+        for b in rank_batches:
+            seen.extend(b.tolist())
+    assert sorted(seen) == sorted(set(seen))      # no duplicates
+    assert all(0 <= i < n for i in seen)
+    assert len(seen) == n                          # full coverage
+
+
+@given(n=st.integers(1, 1000), world=st.integers(1, 32))
+def test_partition_contiguous_properties(n, world):
+    parts = partition_contiguous(n, world)
+    flat = np.concatenate(parts) if parts else np.array([])
+    np.testing.assert_array_equal(flat, np.arange(n))
+    sizes = [len(p) for p in parts]
+    assert max(sizes) - min(sizes) <= 1
+
+
+# ---------------------------------------------------------------------------
+# Memory space: usage is always the sum of live allocations
+# ---------------------------------------------------------------------------
+@settings(max_examples=40, deadline=None)
+@given(st.lists(st.tuples(st.booleans(), st.integers(0, 10**6)),
+                min_size=1, max_size=60))
+def test_memory_space_conservation(ops):
+    m = MemorySpace("prop")
+    live = []
+    for is_alloc, size in ops:
+        if is_alloc or not live:
+            live.append(m.allocate("a", size))
+        else:
+            m.free(live.pop())
+        assert m.in_use == sum(a.nbytes for a in live)
+        assert m.peak >= m.in_use
+
+
+# ---------------------------------------------------------------------------
+# unbroadcast: gradient reduction inverts numpy broadcasting
+# ---------------------------------------------------------------------------
+@settings(max_examples=40, deadline=None)
+@given(st.integers(0, 10**6))
+def test_unbroadcast_inverts_broadcast(seed):
+    rng = np.random.default_rng(seed)
+    base_shape = tuple(rng.integers(1, 4, size=rng.integers(1, 4)))
+    # Make a broadcastable gradient shape: prepend dims / stretch 1s.
+    grad_shape = tuple(rng.integers(1, 4,
+                                    size=rng.integers(0, 2)).tolist()) + tuple(
+        s if s > 1 or rng.random() < 0.5 else int(rng.integers(1, 4))
+        for s in base_shape)
+    g = np.ones(grad_shape)
+    out = unbroadcast(g, base_shape)
+    assert out.shape == base_shape
+    # Total mass conserved: sum of gradient unchanged by reduction.
+    assert out.sum() == g.sum()
+
+
+# ---------------------------------------------------------------------------
+# Seeding
+# ---------------------------------------------------------------------------
+@given(st.integers(0, 2**31), st.text(max_size=20), st.text(max_size=20))
+def test_derive_seed_stable_and_distinct(base, a, b):
+    assert derive_seed(a, base=base) == derive_seed(a, base=base)
+    if a != b:
+        assert derive_seed(a, base=base) != derive_seed(b, base=base)
+
+
+# ---------------------------------------------------------------------------
+# Autograd: sum rule on random DAG-ish expressions
+# ---------------------------------------------------------------------------
+@settings(max_examples=25, deadline=None)
+@given(st.integers(0, 10**6))
+def test_gradient_linearity(seed):
+    """grad of (a*f + b*g) == a*grad(f) + b*grad(g) for scalar outputs."""
+    rng = np.random.default_rng(seed)
+    x0 = rng.standard_normal((3, 3))
+    a, b = float(rng.uniform(-2, 2)), float(rng.uniform(-2, 2))
+
+    def grad_of(fn):
+        t = Tensor(x0, requires_grad=True, dtype=np.float64)
+        fn(t).backward()
+        return t.grad
+
+    gf = grad_of(lambda t: (t * t).sum())
+    gg = grad_of(lambda t: t.tanh().sum())
+    combined = grad_of(lambda t: (t * t).sum() * a + t.tanh().sum() * b)
+    np.testing.assert_allclose(combined, a * gf + b * gg, rtol=1e-9,
+                               atol=1e-12)

@@ -1,0 +1,143 @@
+"""Tests for STGCN (gated temporal convs + Chebyshev spatial convs)."""
+
+import numpy as np
+import pytest
+
+from repro.autograd import Tensor
+from repro.graph import random_sensor_network
+from repro.models import STGCN
+from repro.models.stgcn import ChebGraphConv, TemporalGatedConv
+from repro.optim import Adam, l1_loss
+from repro.utils.errors import ShapeError
+
+N, H, F_IN, B = 10, 12, 2, 3
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return random_sensor_network(N, seed=2)
+
+
+def _x(seed=0, horizon=H):
+    return np.random.default_rng(seed).standard_normal(
+        (B, horizon, N, F_IN)).astype(np.float32)
+
+
+class TestTemporalGatedConv:
+    def test_output_length(self):
+        conv = TemporalGatedConv(F_IN, 8, kernel=3)
+        out = conv(Tensor(_x()))
+        assert out.shape == (B, H - 2, N, 8)
+
+    def test_kernel_one_preserves_length(self):
+        conv = TemporalGatedConv(F_IN, 8, kernel=1)
+        assert conv(Tensor(_x())).shape == (B, H, N, 8)
+
+    def test_too_short_sequence(self):
+        conv = TemporalGatedConv(F_IN, 8, kernel=5)
+        with pytest.raises(ShapeError):
+            conv(Tensor(_x(horizon=3)))
+
+    def test_causal_window(self):
+        """Output step t depends only on input steps t .. t+k-1."""
+        conv = TemporalGatedConv(1, 4, kernel=3)
+        x = np.zeros((1, 8, N, 1), dtype=np.float32)
+        base = conv(Tensor(x)).data
+        x2 = x.copy()
+        x2[0, 7] = 5.0  # perturb the last input step
+        pert = conv(Tensor(x2)).data
+        # Only the last output step (window 5..7) may change.
+        np.testing.assert_allclose(base[0, :-1], pert[0, :-1], atol=1e-7)
+        assert not np.allclose(base[0, -1], pert[0, -1])
+
+    def test_invalid_kernel(self):
+        with pytest.raises(ValueError):
+            TemporalGatedConv(2, 4, kernel=0)
+
+    def test_gradients_flow(self):
+        conv = TemporalGatedConv(F_IN, 8, kernel=3)
+        x = Tensor(_x(), requires_grad=True)
+        conv(x).sum().backward()
+        assert x.grad is not None and np.isfinite(x.grad).all()
+
+
+class TestChebGraphConv:
+    def test_shape_and_hops(self, graph):
+        conv = ChebGraphConv(graph.weights, 4, 6, k=3)
+        out = conv(Tensor(np.random.default_rng(0).standard_normal(
+            (B, 5, N, 4)).astype(np.float32)))
+        assert out.shape == (B, 5, N, 6)
+        assert len(conv.supports) == 3
+
+    def test_spatial_mixing(self, graph):
+        conv = ChebGraphConv(graph.weights, 1, 1, k=3)
+        x = np.zeros((1, 1, N, 1), dtype=np.float32)
+        base = conv(Tensor(x)).data
+        x2 = x.copy()
+        x2[0, 0, 0, 0] = 3.0
+        pert = conv(Tensor(x2)).data
+        changed = np.flatnonzero(np.abs(pert - base)[0, 0, :, 0] > 1e-7)
+        assert len(changed) > 1
+
+
+class TestSTGCN:
+    def test_output_shape(self, graph):
+        model = STGCN(graph.weights, H, F_IN, channels=8,
+                      spatial_channels=4)
+        out = model(Tensor(_x()))
+        assert out.shape == (B, H, N, 1)
+
+    def test_horizon_too_short_rejected(self, graph):
+        with pytest.raises(ShapeError):
+            STGCN(graph.weights, 4, F_IN, kernel=3)
+
+    def test_all_params_get_grads(self, graph):
+        model = STGCN(graph.weights, H, F_IN, channels=8, spatial_channels=4)
+        y = np.random.default_rng(1).standard_normal(
+            (B, H, N, 1)).astype(np.float32)
+        loss = l1_loss(model(Tensor(_x())), y)
+        model.zero_grad()
+        loss.backward()
+        for name, p in model.named_parameters():
+            assert p.grad is not None, name
+
+    def test_overfits_learnable_target(self, graph):
+        model = STGCN(graph.weights, H, F_IN, channels=8, spatial_channels=4)
+        x = _x(seed=3)
+        y = (0.5 * x[..., :1] + 0.1).astype(np.float32)
+        opt = Adam(model.parameters(), lr=0.02)
+        first = None
+        for _ in range(40):
+            loss = l1_loss(model(Tensor(x)), y)
+            if first is None:
+                first = loss.item()
+            opt.zero_grad()
+            loss.backward()
+            opt.step()
+        assert loss.item() < 0.5 * first
+
+    def test_deterministic_init(self, graph):
+        a = STGCN(graph.weights, H, F_IN, seed=1)
+        b = STGCN(graph.weights, H, F_IN, seed=1)
+        for (na, pa), (_, pb) in zip(a.named_parameters(),
+                                     b.named_parameters()):
+            np.testing.assert_array_equal(pa.data, pb.data)
+
+    def test_trains_on_index_batched_data(self, graph):
+        """End-to-end with the index pipeline (broader-applicability)."""
+        from repro.batching import IndexBatchLoader
+        from repro.datasets import load_dataset
+        from repro.preprocessing import IndexDataset
+        from repro.training import Trainer
+
+        ds = load_dataset("pems-bay", nodes=N, entries=260, seed=4)
+        idx = IndexDataset.from_dataset(ds, horizon=12)
+        model = STGCN(ds.graph.weights, 12, 2, channels=8,
+                      spatial_channels=4)
+        trainer = Trainer(model, Adam(model.parameters(), lr=0.01),
+                          IndexBatchLoader(idx, "train", 16),
+                          IndexBatchLoader(idx, "val", 16),
+                          scaler=idx.scaler, seed=4)
+        hist = trainer.fit(2)
+        assert hist[-1].train_loss < hist[0].train_loss
+        assert np.isfinite(hist[-1].val_mae)

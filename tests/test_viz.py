@@ -1,0 +1,67 @@
+"""Tests for the terminal visualisation helpers."""
+
+import pytest
+
+from repro.viz import bar_chart, line_plot, sparkline
+
+
+class TestSparkline:
+    def test_length_matches_input(self):
+        assert len(sparkline([1, 2, 3, 4])) == 4
+
+    def test_monotone_series_monotone_blocks(self):
+        s = sparkline([0, 1, 2, 3, 4, 5, 6, 7, 8])
+        assert s == " ▁▂▃▄▅▆▇█"
+
+    def test_constant_series(self):
+        s = sparkline([5, 5, 5])
+        assert len(set(s)) == 1
+
+    def test_empty(self):
+        assert sparkline([]) == ""
+
+
+class TestLinePlot:
+    def test_contains_markers_and_legend(self):
+        out = line_plot({"ddp": [(4, 160), (128, 46)],
+                         "index": [(4, 75), (128, 4)]},
+                        title="scaling", xlabel="gpus")
+        assert "scaling" in out
+        assert "legend:" in out
+        assert "*" in out and "+" in out
+
+    def test_single_point(self):
+        out = line_plot({"a": [(1, 1)]})
+        assert "*" in out
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            line_plot({})
+
+    def test_extremes_on_grid(self):
+        out = line_plot({"a": [(0, 0), (10, 100)]}, width=20, height=8)
+        lines = [l for l in out.splitlines() if "|" in l]
+        # First plotted row holds the max, last holds the min.
+        assert "*" in lines[0]
+        assert "*" in lines[-1]
+
+
+class TestBarChart:
+    def test_segments_and_totals(self):
+        out = bar_chart({"ddp": {"compute": 30, "comm": 70},
+                         "index": {"compute": 30, "comm": 2}},
+                        unit="s")
+        assert "ddp" in out and "index" in out
+        assert "100.0s" in out and "32.0s" in out
+        assert "compute" in out and "comm" in out
+
+    def test_longest_bar_belongs_to_max(self):
+        out = bar_chart({"big": {"x": 100}, "small": {"x": 10}}, width=20)
+        lines = out.splitlines()
+        big = next(l for l in lines if l.strip().startswith("big"))
+        small = next(l for l in lines if l.strip().startswith("small"))
+        assert big.count("█") > small.count("█")
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            bar_chart({})
