@@ -7,57 +7,42 @@ Runs real DDP training over 4 simulated ranks with:
 - generalized-distributed-index-batching (partitions + batch shuffling),
 
 and prints accuracy, simulated wall time, and per-category traffic for
-each — the small-scale analogue of Figures 7 and 9.
+each — the small-scale analogue of Figures 7 and 9.  Each strategy is one
+``RunSpec``; the communicator statistics come from the run's artifacts.
 
 Run:  python examples/distributed_training.py
 """
 
-from repro.batching import IndexBatchLoader
-from repro.datasets import load_dataset
-from repro.distributed import SimCommunicator
-from repro.graph import dual_random_walk_supports
-from repro.models import PGTDCRNN
-from repro.optim import Adam
-from repro.preprocessing import IndexDataset
-from repro.training import DDPStrategy, DDPTrainer
+from repro.api import RunSpec, STRATEGIES, run
 from repro.utils import format_bytes
 from repro.utils.seeding import seed_everything
 
-WORLD = 4
-EPOCHS = 4
 
-
-def run_strategy(strategy: DDPStrategy, idx: IndexDataset, supports) -> None:
-    model = PGTDCRNN(supports, horizon=idx.horizon, in_features=2,
-                     hidden_dim=16, seed=1)
-    comm = SimCommunicator(WORLD)
-    trainer = DDPTrainer(
-        model, Adam(model.parameters(), lr=0.01), comm,
-        IndexBatchLoader(idx, "train", batch_size=16),
-        IndexBatchLoader(idx, "val", batch_size=16),
-        strategy=strategy, scaler=idx.scaler, seed=1)
-    trainer.fit(EPOCHS)
+def run_strategy(strategy: str, scale: str, world: int, epochs: int) -> None:
+    spec = RunSpec(dataset="pems-bay", model="pgt-dcrnn", batching="index",
+                   scale=scale, seed=1, strategy=strategy, world_size=world,
+                   epochs=epochs)
+    result = run(spec)
+    trainer = result.artifacts.trainer
+    comm = trainer.comm
 
     traffic = {k: format_bytes(v)
                for k, v in sorted(comm.stats.bytes_by_category.items())}
-    print(f"\n{strategy.value}")
-    print(f"  best val MAE      : {trainer.best_val_mae():.3f}")
+    print(f"\n{strategy}")
+    print(f"  best val MAE      : {result.best_val_mae:.3f}")
     print(f"  simulated wall    : {comm.now * 1e3:.3f} ms "
           f"(tiny model on simulated A100s)")
     print(f"  comm breakdown    : {traffic}")
     print(f"  shuffle mode      : {trainer.shuffle}")
 
 
-def main() -> None:
+def main(scale: str = "small", world: int = 4, epochs: int = 4) -> None:
     seed_everything(1)
-    ds = load_dataset("pems-bay", nodes=24, entries=1500, seed=1)
-    idx = IndexDataset.from_dataset(ds, horizon=6)
-    supports = dual_random_walk_supports(ds.graph.weights)
-    print(f"training on {ds.num_nodes} sensors x {ds.num_entries} steps "
-          f"across {WORLD} simulated ranks")
-    for strategy in (DDPStrategy.BASELINE_DDP, DDPStrategy.DIST_INDEX,
-                     DDPStrategy.GENERALIZED_INDEX):
-        run_strategy(strategy, idx, supports)
+    distributed = [s for s in STRATEGIES if s != "single"]
+    print(f"training across {world} simulated ranks at scale={scale!r}; "
+          f"strategies: {distributed}")
+    for strategy in distributed:
+        run_strategy(strategy, scale, world, epochs)
 
 
 if __name__ == "__main__":

@@ -22,9 +22,10 @@ from repro.utils import format_bytes
 from repro.utils.seeding import seed_everything
 
 
-def main() -> None:
+def main(nodes: int = 24, entries: int = 1200, epochs: int = 4,
+         horizon: int = 6) -> None:
     seed_everything(3)
-    ds = load_dataset("metr-la", nodes=24, entries=1200, seed=3)
+    ds = load_dataset("metr-la", nodes=nodes, entries=entries, seed=3)
     dyn = make_dynamic(ds, num_graph_epochs=10, rewire_fraction=0.08, seed=3)
     print(f"dynamic dataset: {dyn.num_epochs} adjacency epochs over "
           f"{ds.num_entries} timesteps")
@@ -33,13 +34,13 @@ def main() -> None:
           f"indexed form takes {format_bytes(dyn.indexed_nbytes())} "
           f"({dyn.duplicated_nbytes() / dyn.indexed_nbytes():.0f}x less)")
 
-    didx = DynamicIndexDataset.from_dynamic(dyn, horizon=6)
-    model = PGTDCRNN(didx.supports_by_epoch[0], 6, 2, hidden_dim=16)
+    didx = DynamicIndexDataset.from_dynamic(dyn, horizon=horizon)
+    model = PGTDCRNN(didx.supports_by_epoch[0], horizon, 2, hidden_dim=16)
     opt = Adam(model.parameters(), lr=0.01)
 
     train_starts = didx.signal.split_starts("train")
     rng = np.random.default_rng(0)
-    for epoch in range(4):
+    for epoch in range(epochs):
         order = rng.permutation(train_starts)
         losses = []
         for batch_starts in np.array_split(order, max(len(order) // 16, 1)):

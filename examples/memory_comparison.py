@@ -23,9 +23,9 @@ from repro.preprocessing import (
 from repro.utils import OutOfMemoryError, format_bytes
 
 
-def real_small_scale() -> None:
+def real_small_scale(nodes: int = 32, entries: int = 2000) -> None:
     print("=== real pipelines on a small synthetic dataset ===")
-    ds = load_dataset("pems-bay", nodes=32, entries=2000, seed=0)
+    ds = load_dataset("pems-bay", nodes=nodes, entries=entries, seed=0)
     std_space = MemorySpace("standard")
     standard_preprocess(ds, space=std_space)
     idx_space = MemorySpace("index")
@@ -55,6 +55,10 @@ def full_scale_simulation() -> None:
               f"{format_bytes(idx.peak):>12s} {outcome}")
 
 
-if __name__ == "__main__":
-    real_small_scale()
+def main(nodes: int = 32, entries: int = 2000) -> None:
+    real_small_scale(nodes=nodes, entries=entries)
     full_scale_simulation()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,69 +1,35 @@
-"""Broader applicability: every model family from the paper on one dataset.
+"""Broader applicability: every registered model family on one dataset.
 
 The paper argues index-batching works for *any* sequence-to-sequence
-spatiotemporal model (§5.5).  This example trains all five implemented
-architectures — DCRNN, PGT-DCRNN, TGCN, A3T-GCN and ST-LLM — on the same
-index-batched METR-LA stand-in and compares accuracy and cost.
+spatiotemporal model (§5.5).  This example discovers the implemented
+architectures through the ``repro.api`` model registry and trains each on
+the same index-batched METR-LA stand-in with one ``RunSpec`` per model —
+adding a model to the comparison is now just ``@MODELS.register(...)``.
 
 Run:  python examples/model_zoo.py
 """
 
-import time
-
-import numpy as np
-
-from repro.batching import IndexBatchLoader
-from repro.datasets import load_dataset
-from repro.graph import dual_random_walk_supports
-from repro.models import A3TGCN, DCRNN, PGTDCRNN, STGCN, STLLM, TGCN
-from repro.optim import Adam
-from repro.preprocessing import IndexDataset
+from repro.api import RunSpec, list_models, run
 from repro.profiling import format_table
-from repro.training import Trainer
 from repro.utils.seeding import seed_everything
 
-HORIZON = 6
-EPOCHS = 4
 
-
-def build_models(ds, supports):
-    n = ds.graph.num_nodes
-    return {
-        "DCRNN": DCRNN(supports, HORIZON, 2, hidden_dim=16, num_layers=2),
-        "PGT-DCRNN": PGTDCRNN(supports, HORIZON, 2, hidden_dim=16),
-        "TGCN": TGCN(ds.graph.weights, HORIZON, 2, hidden_dim=16),
-        "A3T-GCN": A3TGCN(ds.graph.weights, HORIZON, 2, hidden_dim=16),
-        "STGCN": STGCN(ds.graph.weights, HORIZON, 2, channels=16,
-                       spatial_channels=8, kernel=2),
-        "ST-LLM": STLLM(n, HORIZON, 2, dim=32, num_heads=4, num_blocks=2,
-                        frozen_blocks=1),
-    }
-
-
-def main() -> None:
+def main(scale: str = "small", epochs: int = 4) -> None:
     seed_everything(7)
-    ds = load_dataset("metr-la", nodes=20, entries=1200, seed=7)
-    idx = IndexDataset.from_dataset(ds, horizon=HORIZON)
-    supports = dual_random_walk_supports(ds.graph.weights)
-
     rows = []
-    for name, model in build_models(ds, supports).items():
-        trainable = [p for p in model.parameters() if p.requires_grad]
-        trainer = Trainer(
-            model, Adam(trainable, lr=0.01),
-            IndexBatchLoader(idx, "train", batch_size=16),
-            IndexBatchLoader(idx, "val", batch_size=16),
-            scaler=idx.scaler, seed=7)
-        t0 = time.perf_counter()
-        trainer.fit(EPOCHS)
-        dt = time.perf_counter() - t0
+    for name in list_models():
+        spec = RunSpec(dataset="metr-la", model=name, batching="index",
+                       scale=scale, seed=7, epochs=epochs)
+        result = run(spec)
+        model = result.artifacts.model
         rows.append([name, f"{model.num_parameters():,}",
-                     f"{trainer.best_val_mae():.3f}", f"{dt:.1f}s"])
+                     f"{result.best_val_mae:.3f}",
+                     f"{result.runtime_seconds:.1f}s"])
 
     print(format_table(
         ["Model", "Params", "Best Val MAE (mph)", "Train time"], rows,
-        title=f"Model zoo on METR-LA stand-in ({EPOCHS} epochs, "
-              f"index-batching)"))
+        title=f"Model zoo on METR-LA stand-in ({epochs} epochs, "
+              f"index-batching, scale={scale})"))
 
 
 if __name__ == "__main__":

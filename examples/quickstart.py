@@ -1,61 +1,57 @@
 """Quickstart: train a spatiotemporal GNN with index-batching.
 
-Builds a synthetic PeMS-BAY stand-in, preprocesses it with the paper's
-index-batching (one data copy + window-start indices, zero-copy snapshot
-views), and trains PGT-DCRNN for a few epochs on a single device.
+The whole pipeline is one declarative ``RunSpec`` plus ``repro.api.run``::
+
+    from repro.api import RunSpec, run
+
+    spec = RunSpec(dataset="pems-bay", model="pgt-dcrnn",
+                   batching="index", scale="small", epochs=5)
+    result = run(spec)
+
+``run`` loads the (scaled-down synthetic) PeMS-BAY stand-in, preprocesses
+it with the paper's index-batching (one data copy + window-start indices),
+builds the model and optimizer from the registries, trains, and returns a
+uniform result.  The available components are discoverable via
+``repro.api.list_models()`` / ``list_datasets()`` / ``list_batchings()``.
 
 Run:  python examples/quickstart.py
 """
 
 import numpy as np
 
-from repro.batching import IndexBatchLoader
-from repro.datasets import load_dataset
-from repro.graph import dual_random_walk_supports
-from repro.models import PGTDCRNN
-from repro.optim import Adam
-from repro.preprocessing import IndexDataset
-from repro.training import Trainer
+from repro.api import RunSpec, run
 from repro.utils import format_bytes
 from repro.utils.seeding import seed_everything
 
 
-def main() -> None:
+def main(scale: str = "small", epochs: int = 5) -> None:
     seed_everything(0)
 
-    # 1. Load a (scaled-down synthetic) traffic dataset.
-    ds = load_dataset("pems-bay", nodes=32, entries=2000, seed=0)
-    print(f"dataset: {ds.spec.name} stand-in, {ds.num_nodes} sensors, "
-          f"{ds.num_entries} timesteps ({format_bytes(ds.nbytes)})")
+    # 1. Describe the run declaratively; every key is a registry entry.
+    spec = RunSpec(dataset="pems-bay", model="pgt-dcrnn", batching="index",
+                   scale=scale, seed=0, epochs=epochs)
+    print(f"spec: {spec.to_dict()}")
 
-    # 2. Index-batching preprocessing: one standardized copy + indices.
-    idx = IndexDataset.from_dataset(ds)
-    x, y = idx.snapshot(0)
-    print(f"snapshots: {idx.num_snapshots} windows of horizon "
-          f"{idx.horizon}; resident bytes {format_bytes(idx.resident_nbytes)}")
-    print(f"zero-copy check: x.base is data -> {x.base is idx.data}")
+    # 2. Execute: dataset -> loaders -> model -> trainer, all from registries.
+    result = run(spec, verbose=True)
+    print(f"\ntrained {result.epochs_run} epochs in "
+          f"{result.runtime_seconds:.1f}s; best val MAE "
+          f"{result.best_val_mae:.2f} mph; preprocessing peak "
+          f"{format_bytes(result.peak_bytes)}")
 
-    # 3. Model: diffusion-convolution GRU over the sensor graph.
-    supports = dual_random_walk_supports(ds.graph.weights)
-    model = PGTDCRNN(supports, horizon=idx.horizon, in_features=2,
-                     hidden_dim=32)
-    print(f"model: PGT-DCRNN with {model.num_parameters():,} parameters")
+    # 3. The artifacts keep the live objects for follow-up analysis.
+    model = result.artifacts.model
+    print(f"model: {type(model).__name__} with "
+          f"{model.num_parameters():,} parameters")
 
-    # 4. Train.
-    trainer = Trainer(
-        model, Adam(model.parameters(), lr=0.01),
-        IndexBatchLoader(idx, "train", batch_size=32),
-        IndexBatchLoader(idx, "val", batch_size=32),
-        scaler=idx.scaler)
-    trainer.fit(5, verbose=True)
-
-    # 5. Forecast: predict the next hour for the test split's first window.
-    test_starts = idx.split_starts("test")
-    xb, yb = idx.gather(test_starts[:1])
-    pred = model.predict(xb.astype(np.float32))[..., 0]
-    pred_mph = idx.scaler.inverse_transform_channel(pred, 0)
-    truth_mph = idx.scaler.inverse_transform_channel(yb[..., 0], 0)
-    print(f"\nforecast MAE on one test window: "
+    # 4. Forecast: predict the first test window in original units.
+    test = result.artifacts.loaders.test
+    scaler = result.artifacts.loaders.scaler
+    xb, yb = test.batch_at(np.arange(1))
+    pred = model.predict(xb)[..., 0]
+    pred_mph = scaler.inverse_transform_channel(pred, 0)
+    truth_mph = scaler.inverse_transform_channel(yb[..., 0], 0)
+    print(f"forecast MAE on one test window: "
           f"{np.abs(pred_mph - truth_mph).mean():.2f} mph")
 
 

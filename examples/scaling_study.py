@@ -14,10 +14,10 @@ from repro.experiments.table4 import report as table4_report
 from repro.viz import bar_chart, line_plot
 
 
-def main() -> None:
+def main(epochs: int = 30) -> None:
     print(table4_report())
     print()
-    r7 = run_figure7()
+    r7 = run_figure7(epochs=epochs)
     print(figure7_report(r7))
     print()
     print(line_plot(

@@ -20,8 +20,30 @@ library.  It provides:
   index-batching, GPU-index-batching, distributed-index-batching and
   generalized-distributed-index-batching.
 - ``repro.experiments``: one entry point per paper table and figure.
+- ``repro.api``: the declarative pipeline tying it all together —
+  registries, ``RunSpec`` and the ``run(spec)`` executor.
+
+The quickest way in::
+
+    import repro
+
+    result = repro.api.run(repro.RunSpec(dataset="pems-bay",
+                                         model="pgt-dcrnn",
+                                         batching="index", scale="tiny"))
 """
 
 from repro._version import __version__
 
-__all__ = ["__version__"]
+__all__ = ["__version__", "api", "RunSpec", "RunResult", "run"]
+
+_API_ATTRS = {"api", "RunSpec", "RunResult", "run"}
+
+
+def __getattr__(name):
+    """Lazy-load the api subsystem so ``import repro`` stays lightweight."""
+    if name in _API_ATTRS:
+        import repro.api as api
+        if name == "api":
+            return api
+        return getattr(api, name)
+    raise AttributeError(f"module 'repro' has no attribute {name!r}")

@@ -1,0 +1,108 @@
+"""String-keyed registries behind the ``repro.api`` experiment pipeline.
+
+Every component a :class:`~repro.api.spec.RunSpec` names — model, batching
+strategy, dataset, optimizer — lives in a :class:`Registry` and is resolved
+by key at run time.  Adding a new scenario therefore means registering one
+builder function instead of editing every experiment module::
+
+    from repro.api import MODELS
+
+    @MODELS.register("my-model")
+    def _build(ctx):
+        return MyModel(ctx.supports, ctx.horizon, ctx.in_features)
+
+Unknown keys raise :class:`KeyError` listing the registered alternatives,
+so typos fail loudly at spec-validation time rather than mid-training.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterator
+
+
+class Registry:
+    """A named mapping from string keys to registered objects."""
+
+    def __init__(self, kind: str):
+        self.kind = kind
+        self._entries: dict[str, Any] = {}
+
+    # ------------------------------------------------------------------
+    def register(self, name: str, obj: Any = None, *,
+                 overwrite: bool = False) -> Callable[[Any], Any] | Any:
+        """Register ``obj`` under ``name``; usable as a decorator.
+
+        ``@registry.register("key")`` registers the decorated object and
+        returns it unchanged.  Re-registration raises unless
+        ``overwrite=True`` (tests and downstream extensions use that to
+        swap implementations).
+        """
+        if not isinstance(name, str) or not name:
+            raise ValueError(f"{self.kind} key must be a non-empty string, "
+                             f"got {name!r}")
+
+        def _add(target: Any) -> Any:
+            if name in self._entries and not overwrite:
+                raise ValueError(
+                    f"{self.kind} {name!r} is already registered; pass "
+                    f"overwrite=True to replace it")
+            self._entries[name] = target
+            return target
+
+        if obj is None:
+            return _add
+        return _add(obj)
+
+    def unregister(self, name: str) -> None:
+        self._entries.pop(name, None)
+
+    def get(self, name: str) -> Any:
+        try:
+            return self._entries[name]
+        except KeyError:
+            raise KeyError(
+                f"unknown {self.kind} {name!r}; registered: "
+                f"{self.names()}") from None
+
+    def names(self) -> list[str]:
+        return sorted(self._entries)
+
+    # ------------------------------------------------------------------
+    def __contains__(self, name: object) -> bool:
+        return name in self._entries
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self.names())
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __repr__(self) -> str:
+        return f"Registry({self.kind!r}, {self.names()})"
+
+
+#: The four registries the executor resolves a RunSpec against.
+MODELS = Registry("model")
+BATCHINGS = Registry("batching")
+DATASETS = Registry("dataset")
+OPTIMIZERS = Registry("optimizer")
+
+
+def list_models() -> list[str]:
+    """Keys accepted by ``RunSpec.model``."""
+    return MODELS.names()
+
+
+def list_batchings() -> list[str]:
+    """Keys accepted by ``RunSpec.batching``."""
+    return BATCHINGS.names()
+
+
+def list_datasets() -> list[str]:
+    """Keys accepted by ``RunSpec.dataset``."""
+    return DATASETS.names()
+
+
+def list_optimizers() -> list[str]:
+    """Keys accepted by ``RunSpec.optimizer``."""
+    return OPTIMIZERS.names()

@@ -8,6 +8,7 @@ from repro.batching.samplers import (
     partition_contiguous,
 )
 from repro.batching.loaders import IndexBatchLoader, StandardBatchLoader
+from repro.batching.protocols import BatchSource, ensure_batch_source
 
 __all__ = [
     "SequentialSampler",
@@ -17,4 +18,6 @@ __all__ = [
     "partition_contiguous",
     "IndexBatchLoader",
     "StandardBatchLoader",
+    "BatchSource",
+    "ensure_batch_source",
 ]

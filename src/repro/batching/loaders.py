@@ -8,6 +8,11 @@ come from:
   of the standard pipeline.
 - :class:`IndexBatchLoader` gathers batches on demand from the single data
   copy of an :class:`~repro.preprocessing.index_batching.IndexDataset`.
+
+Both satisfy the :class:`~repro.batching.protocols.BatchSource` protocol:
+``len(loader)`` equals the number of full batches :meth:`batches` yields,
+and impossible splits (empty, or smaller than one batch) are rejected at
+construction instead of silently iterating zero times.
 """
 
 from __future__ import annotations
@@ -21,19 +26,32 @@ from repro.preprocessing.standard import StandardPreprocessed
 from repro.utils.errors import ShapeError
 
 
+def _check_split(split: str, num_snapshots: int, batch_size: int) -> int:
+    """Validate that a split can serve at least one full batch."""
+    batch_size = int(batch_size)
+    if batch_size < 1:
+        raise ValueError(f"batch_size must be >= 1, got {batch_size}")
+    if num_snapshots == 0:
+        raise ShapeError(f"split {split!r} is empty")
+    if num_snapshots < batch_size:
+        raise ShapeError(
+            f"split {split!r} has {num_snapshots} snapshots, fewer than "
+            f"batch_size {batch_size}: no full batch can be formed (shrink "
+            f"the batch size or enlarge the dataset)")
+    return batch_size
+
+
 class StandardBatchLoader:
     """Iterate over a materialised split of the standard pipeline."""
 
     def __init__(self, pre: StandardPreprocessed, split: str, batch_size: int,
                  *, dtype=np.float32):
         self.x, self.y = pre.split(split)
-        if len(self.x) == 0:
-            raise ShapeError(f"split {split!r} is empty")
-        self.batch_size = int(batch_size)
+        self.batch_size = _check_split(split, len(self.x), batch_size)
         self.dtype = dtype
 
     def __len__(self) -> int:
-        return max(len(self.x) // self.batch_size, 1)
+        return len(self.x) // self.batch_size
 
     @property
     def num_snapshots(self) -> int:
@@ -61,13 +79,11 @@ class IndexBatchLoader:
         self.ds = ds
         self.split = split
         self.starts = ds.split_starts(split)
-        if len(self.starts) == 0:
-            raise ShapeError(f"split {split!r} is empty")
-        self.batch_size = int(batch_size)
+        self.batch_size = _check_split(split, len(self.starts), batch_size)
         self.dtype = dtype
 
     def __len__(self) -> int:
-        return max(len(self.starts) // self.batch_size, 1)
+        return len(self.starts) // self.batch_size
 
     @property
     def num_snapshots(self) -> int:

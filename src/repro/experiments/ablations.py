@@ -144,27 +144,18 @@ class ShuffleSweepResult:
 
 def run_shuffle_sweep(scale: str | Scale = "tiny", seed: int = 0,
                       world: int = 4) -> list[ShuffleSweepResult]:
-    from repro.distributed import SimCommunicator
-    from repro.training import DDPStrategy, DDPTrainer
+    from repro import api
+    from repro.api import RunSpec
 
     scale = get_scale(scale)
-    ds = load_dataset("pems-bay", nodes=scale.nodes, entries=scale.entries,
-                      seed=seed)
-    horizon = scale.horizon or ds.spec.horizon
-    idx = IndexDataset.from_dataset(ds, horizon=horizon)
-    supports = dual_random_walk_supports(ds.graph.weights)
     out = []
     for shuffle in ("global", "local", "batch"):
-        model = PGTDCRNN(supports, horizon, 2, hidden_dim=scale.hidden_dim,
-                         seed=seed)
-        trainer = DDPTrainer(
-            model, Adam(model.parameters(), lr=0.01), SimCommunicator(world),
-            IndexBatchLoader(idx, "train", scale.batch_size),
-            IndexBatchLoader(idx, "val", scale.batch_size),
-            strategy=DDPStrategy.DIST_INDEX, shuffle=shuffle,
-            scaler=idx.scaler, seed=seed)
-        trainer.fit(scale.epochs)
-        out.append(ShuffleSweepResult(shuffle, trainer.best_val_mae()))
+        spec = RunSpec(dataset="pems-bay", model="pgt-dcrnn",
+                       batching="index", scale=api.resolve_name(scale),
+                       seed=seed, strategy="dist-index", world_size=world,
+                       shuffle=shuffle)
+        result = api.run(spec, scale=scale)
+        out.append(ShuffleSweepResult(shuffle, result.best_val_mae))
     return out
 
 

@@ -1,49 +1,20 @@
 """Scale presets for the real-training experiments.
 
-The paper trains on real PeMS-family data with hundreds to thousands of
-sensors for 30-100 epochs; the repository's real-training experiments use
-scaled-down synthetic datasets so they complete in seconds to minutes.
-``Scale`` collects the knobs; the *shape* conclusions (who wins, by what
-factor) are scale-invariant because both batching modes consume literally
-identical snapshots.
+The presets now live in :mod:`repro.api.scales` (the ``RunSpec`` pipeline
+validates scale names against the same table); this module re-exports them
+so existing imports — ``from repro.experiments.config import Scale`` —
+keep working.
 """
 
-from __future__ import annotations
+from repro.api.scales import (  # noqa: F401
+    MEDIUM,
+    SCALES,
+    SMALL,
+    TINY,
+    Scale,
+    get_scale,
+    register_scale,
+)
 
-from dataclasses import dataclass
-
-
-@dataclass(frozen=True)
-class Scale:
-    """Working sizes for a real-training experiment."""
-
-    name: str
-    nodes: int
-    entries: int
-    epochs: int
-    hidden_dim: int
-    batch_size: int
-    horizon: int | None = None  # None: use the dataset's catalog horizon
-
-
-#: Fast enough for CI / pytest-benchmark runs (seconds per experiment).
-TINY = Scale("tiny", nodes=8, entries=260, epochs=4, hidden_dim=8,
-             batch_size=8, horizon=4)
-
-#: A few minutes per experiment; smoother convergence curves.
-SMALL = Scale("small", nodes=24, entries=1200, epochs=12, hidden_dim=16,
-              batch_size=16, horizon=12)
-
-#: The closest practical approximation of the paper's setups on a laptop.
-MEDIUM = Scale("medium", nodes=64, entries=4000, epochs=30, hidden_dim=32,
-               batch_size=32, horizon=12)
-
-SCALES = {s.name: s for s in (TINY, SMALL, MEDIUM)}
-
-
-def get_scale(name: str | Scale) -> Scale:
-    if isinstance(name, Scale):
-        return name
-    if name not in SCALES:
-        raise KeyError(f"unknown scale {name!r}; options: {sorted(SCALES)}")
-    return SCALES[name]
+__all__ = ["Scale", "TINY", "SMALL", "MEDIUM", "SCALES", "get_scale",
+           "register_scale"]

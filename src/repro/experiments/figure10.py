@@ -12,15 +12,10 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.batching import IndexBatchLoader
-from repro.datasets import get_spec, load_dataset
-from repro.distributed import SimCommunicator
-from repro.experiments.config import Scale, get_scale
-from repro.models import STLLM
-from repro.optim import Adam
-from repro.preprocessing import IndexDataset
+from repro import api
+from repro.api import RunSpec, Scale, get_scale
+from repro.datasets import get_spec
 from repro.profiling import RunReport
-from repro.training import DDPStrategy, DDPTrainer
 from repro.training.perfmodel import TrainingPerfModel, stllm_perf
 
 GPU_COUNTS = (1, 4, 8, 16, 32)
@@ -61,25 +56,15 @@ def run_figure10_real(scale: str | Scale = "tiny", seed: int = 0,
                       ) -> list[STLLMTrainResult]:
     """Real scaled-down ST-LLM training under distributed-index-batching."""
     scale = get_scale(scale)
-    ds = load_dataset("pems-bay", nodes=scale.nodes, entries=scale.entries,
-                      seed=seed)
-    horizon = scale.horizon or ds.spec.horizon
-    idx = IndexDataset.from_dataset(ds, horizon=horizon)
     out = []
     for world in gpu_counts:
-        model = STLLM(ds.graph.num_nodes, horizon, 2,
-                      dim=4 * scale.hidden_dim, num_heads=2, num_blocks=2,
-                      frozen_blocks=1, seed=seed)
-        trainable = [p for p in model.parameters() if p.requires_grad]
-        trainer = DDPTrainer(
-            model, Adam(trainable, lr=0.005), SimCommunicator(world),
-            IndexBatchLoader(idx, "train", scale.batch_size),
-            IndexBatchLoader(idx, "val", scale.batch_size),
-            strategy=DDPStrategy.DIST_INDEX, scaler=idx.scaler, seed=seed)
-        hist = trainer.fit(scale.epochs)
+        spec = RunSpec(dataset="pems-bay", model="st-llm", batching="index",
+                       scale=api.resolve_name(scale), seed=seed, lr=0.005,
+                       strategy="dist-index", world_size=world)
+        result = api.run(spec, scale=scale)
         out.append(STLLMTrainResult(gpus=world,
-                                    final_train_loss=hist[-1].train_loss,
-                                    best_val_mae=trainer.best_val_mae()))
+                                    final_train_loss=result.final_train_loss,
+                                    best_val_mae=result.best_val_mae))
     return out
 
 

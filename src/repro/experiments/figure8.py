@@ -11,16 +11,10 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from repro.batching import IndexBatchLoader
-from repro.datasets import load_dataset
-from repro.distributed import SimCommunicator
-from repro.experiments.config import Scale, get_scale
-from repro.graph import dual_random_walk_supports
-from repro.models import PGTDCRNN
-from repro.optim import Adam, scale_lr_linear
-from repro.preprocessing import IndexDataset
+from repro import api
+from repro.api import RunSpec, Scale, get_scale
+from repro.optim import scale_lr_linear
 from repro.profiling import RunReport
-from repro.training import DDPStrategy, DDPTrainer
 
 
 @dataclass
@@ -38,27 +32,17 @@ def run_figure8(scale: str | Scale = "tiny", seed: int = 0,
                 base_lr: float = 0.01,
                 with_lr_scaling: bool = True) -> list[AccuracyPoint]:
     scale = get_scale(scale)
-    ds = load_dataset("pems", nodes=scale.nodes, entries=scale.entries,
-                      seed=seed)
-    horizon = scale.horizon or ds.spec.horizon
-    idx = IndexDataset.from_dataset(ds, horizon=horizon)
-    supports = dual_random_walk_supports(ds.graph.weights)
 
     def train(world: int, lr: float, scaled: bool) -> AccuracyPoint:
-        model = PGTDCRNN(supports, horizon, 2, hidden_dim=scale.hidden_dim,
-                         seed=seed)
-        opt = Adam(model.parameters(), lr=lr)
-        trainer = DDPTrainer(
-            model, opt, SimCommunicator(world),
-            IndexBatchLoader(idx, "train", scale.batch_size),
-            IndexBatchLoader(idx, "val", scale.batch_size),
-            strategy=DDPStrategy.DIST_INDEX, scaler=idx.scaler, seed=seed)
-        hist = trainer.fit(scale.epochs)
+        spec = RunSpec(dataset="pems", model="pgt-dcrnn", batching="index",
+                       scale=api.resolve_name(scale), seed=seed, lr=lr,
+                       strategy="dist-index", world_size=world)
+        result = api.run(spec, scale=scale)
         return AccuracyPoint(
             gpus=world, lr=lr, lr_scaled=scaled,
-            best_val_mae=trainer.best_val_mae(),
-            final_train_loss=hist[-1].train_loss,
-            val_curve=[h.val_mae for h in hist])
+            best_val_mae=result.best_val_mae,
+            final_train_loss=result.final_train_loss,
+            val_curve=result.val_curve)
 
     points = [train(w, base_lr, False) for w in gpu_counts]
     if with_lr_scaling:

@@ -9,19 +9,11 @@ reductions on the bigger datasets.
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
 
-from repro.batching import IndexBatchLoader, StandardBatchLoader
-from repro.datasets import load_dataset
-from repro.experiments.config import Scale, get_scale
-from repro.graph import dual_random_walk_supports
-from repro.hardware.memory import MemorySpace
-from repro.models import PGTDCRNN
-from repro.optim import Adam
-from repro.preprocessing import IndexDataset, standard_preprocess
+from repro import api
+from repro.api import RunSpec, Scale, get_scale
 from repro.profiling import RunReport
-from repro.training import Trainer
 from repro.utils.sizes import MB
 
 DATASETS = ("chickenpox-hungary", "windmill-large", "pems-bay")
@@ -39,36 +31,14 @@ class BatchingRunResult:
 
 def _train_once(dataset_name: str, mode: str, scale: Scale,
                 seed: int = 0) -> BatchingRunResult:
-    ds = load_dataset(dataset_name, nodes=scale.nodes, entries=scale.entries,
-                      seed=seed)
-    horizon = scale.horizon or ds.spec.horizon
-    space = MemorySpace(f"{dataset_name}:{mode}")
-    t0 = time.perf_counter()
-    if mode == "base":
-        pre = standard_preprocess(ds, horizon=horizon, space=space)
-        train = StandardBatchLoader(pre, "train", scale.batch_size)
-        val = StandardBatchLoader(pre, "val", scale.batch_size)
-        scaler = pre.scaler
-    elif mode == "index":
-        idx = IndexDataset.from_dataset(ds, horizon=horizon, space=space)
-        train = IndexBatchLoader(idx, "train", scale.batch_size)
-        val = IndexBatchLoader(idx, "val", scale.batch_size)
-        scaler = idx.scaler
-    else:
-        raise ValueError(f"unknown mode {mode!r}")
-
-    supports = dual_random_walk_supports(ds.graph.weights)
-    in_features = 2 if ds.spec.domain == "traffic" else 1
-    model = PGTDCRNN(supports, horizon, in_features,
-                     hidden_dim=scale.hidden_dim, seed=seed)
-    trainer = Trainer(model, Adam(model.parameters(), lr=0.01), train, val,
-                      scaler=scaler, seed=seed)
-    history = trainer.fit(scale.epochs)
-    runtime = time.perf_counter() - t0
+    spec = RunSpec(dataset=dataset_name, model="pgt-dcrnn", batching=mode,
+                   scale=api.resolve_name(scale), seed=seed)
+    result = api.run(spec, scale=scale)
     return BatchingRunResult(
-        dataset=dataset_name, mode=mode, runtime_seconds=runtime,
-        best_val_mae=trainer.best_val_mae(), peak_bytes=space.peak,
-        val_curve=[h.val_mae for h in history])
+        dataset=dataset_name, mode=mode,
+        runtime_seconds=result.runtime_seconds,
+        best_val_mae=result.best_val_mae, peak_bytes=result.peak_bytes,
+        val_curve=result.val_curve)
 
 
 def run_table3(scale: str | Scale = "tiny", seed: int = 0,

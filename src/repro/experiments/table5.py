@@ -10,16 +10,9 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.batching import IndexBatchLoader
-from repro.datasets import load_dataset
-from repro.distributed import SimCommunicator
-from repro.experiments.config import Scale, get_scale
-from repro.graph import dual_random_walk_supports
-from repro.models import PGTDCRNN
-from repro.optim import Adam
-from repro.preprocessing import IndexDataset
+from repro import api
+from repro.api import RunSpec, Scale, get_scale
 from repro.profiling import RunReport
-from repro.training import DDPStrategy, DDPTrainer
 
 
 @dataclass
@@ -33,27 +26,16 @@ def run_table5(scale: str | Scale = "tiny", seed: int = 0,
                gpu_counts: tuple[int, ...] = (4, 8, 16)
                ) -> list[ShufflingResult]:
     scale = get_scale(scale)
-    ds = load_dataset("pems-bay", nodes=scale.nodes, entries=scale.entries,
-                      seed=seed)
-    horizon = scale.horizon or ds.spec.horizon
-    idx = IndexDataset.from_dataset(ds, horizon=horizon)
-    supports = dual_random_walk_supports(ds.graph.weights)
-
     results = []
     for shuffle in ("global", "batch"):
         for world in gpu_counts:
-            model = PGTDCRNN(supports, horizon, 2,
-                             hidden_dim=scale.hidden_dim, seed=seed)
-            trainer = DDPTrainer(
-                model, Adam(model.parameters(), lr=0.01),
-                SimCommunicator(world),
-                IndexBatchLoader(idx, "train", scale.batch_size),
-                IndexBatchLoader(idx, "val", scale.batch_size),
-                strategy=DDPStrategy.DIST_INDEX, shuffle=shuffle,
-                scaler=idx.scaler, seed=seed)
-            trainer.fit(scale.epochs)
+            spec = RunSpec(dataset="pems-bay", model="pgt-dcrnn",
+                           batching="index", scale=api.resolve_name(scale),
+                           seed=seed, strategy="dist-index",
+                           world_size=world, shuffle=shuffle)
+            result = api.run(spec, scale=scale)
             results.append(ShufflingResult(shuffle, world,
-                                           trainer.best_val_mae()))
+                                           result.best_val_mae))
     return results
 
 

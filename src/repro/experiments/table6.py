@@ -3,18 +3,12 @@ runtime, CPU memory, test MSE (the broader-applicability study, §5.5)."""
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass
 
-from repro.batching import IndexBatchLoader, StandardBatchLoader
-from repro.datasets import load_dataset
-from repro.experiments.config import Scale, get_scale
-from repro.hardware.memory import MemorySpace
-from repro.models import A3TGCN
-from repro.optim import Adam
-from repro.preprocessing import IndexDataset, standard_preprocess
+from repro import api
+from repro.api import RunSpec, Scale, get_scale
 from repro.profiling import RunReport
-from repro.training import Trainer, mse
+from repro.training import mse
 from repro.utils.sizes import MB
 
 from repro.autograd.grad_mode import no_grad
@@ -46,32 +40,15 @@ def run_table6(scale: str | Scale = "tiny", seed: int = 0) -> list[Table6Row]:
     scale = get_scale(scale)
     rows = []
     for mode in ("base", "index"):
-        ds = load_dataset("metr-la", nodes=scale.nodes, entries=scale.entries,
-                          seed=seed)
-        horizon = scale.horizon or ds.spec.horizon
-        space = MemorySpace(f"a3tgcn:{mode}")
-        t0 = time.perf_counter()
-        if mode == "base":
-            pre = standard_preprocess(ds, horizon=horizon, space=space)
-            train = StandardBatchLoader(pre, "train", scale.batch_size)
-            val = StandardBatchLoader(pre, "val", scale.batch_size)
-            test = StandardBatchLoader(pre, "test", scale.batch_size)
-            scaler = pre.scaler
-        else:
-            idx = IndexDataset.from_dataset(ds, horizon=horizon, space=space)
-            train = IndexBatchLoader(idx, "train", scale.batch_size)
-            val = IndexBatchLoader(idx, "val", scale.batch_size)
-            test = IndexBatchLoader(idx, "test", scale.batch_size)
-            scaler = idx.scaler
-        model = A3TGCN(ds.graph.weights, horizon, 2,
-                       hidden_dim=scale.hidden_dim, seed=seed)
-        trainer = Trainer(model, Adam(model.parameters(), lr=0.01), train,
-                          val, scaler=scaler, seed=seed)
-        trainer.fit(scale.epochs)
-        runtime = time.perf_counter() - t0
-        rows.append(Table6Row(mode=mode, runtime_seconds=runtime,
-                              peak_bytes=space.peak,
-                              test_mse=_test_mse(model, test, scaler)))
+        spec = RunSpec(dataset="metr-la", model="a3tgcn", batching=mode,
+                       scale=api.resolve_name(scale), seed=seed)
+        result = api.run(spec, scale=scale)
+        art = result.artifacts
+        rows.append(Table6Row(
+            mode=mode, runtime_seconds=result.runtime_seconds,
+            peak_bytes=result.peak_bytes,
+            test_mse=_test_mse(art.model, art.loaders.test,
+                               art.loaders.scaler)))
     return rows
 
 

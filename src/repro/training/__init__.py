@@ -3,7 +3,14 @@
 from repro.training.checkpoint import load_checkpoint, save_checkpoint
 from repro.training.ddp import DDPStrategy, DDPTrainer
 from repro.training.evaluation import HorizonMetrics, evaluate_by_horizon
-from repro.training.metrics import mae, mape, masked_mae, mse, rmse
+from repro.training.metrics import (
+    mae,
+    mape,
+    masked_abs_error,
+    masked_mae,
+    mse,
+    rmse,
+)
 from repro.training.replicated import ReplicatedDDPTrainer
 from repro.training.trainer import EpochRecord, Trainer
 
@@ -13,6 +20,7 @@ __all__ = [
     "rmse",
     "mape",
     "masked_mae",
+    "masked_abs_error",
     "Trainer",
     "EpochRecord",
     "DDPTrainer",

@@ -30,6 +30,7 @@ import numpy as np
 
 from repro.autograd.grad_mode import no_grad
 from repro.autograd.tensor import Tensor
+from repro.batching.protocols import ensure_batch_source
 from repro.batching.samplers import (
     BatchShuffleSampler,
     GlobalShuffleSampler,
@@ -41,7 +42,7 @@ from repro.models.base import STModel
 from repro.optim.losses import l1_loss
 from repro.optim.optimizers import Optimizer, clip_grad_norm
 from repro.preprocessing.scaler import StandardScaler
-from repro.training.metrics import masked_mae
+from repro.training.metrics import masked_abs_error
 from repro.utils.errors import CommunicatorError
 
 
@@ -101,8 +102,9 @@ class DDPTrainer:
         self.optimizer = optimizer
         self.comm = comm
         self.world_size = comm.world_size
-        self.train_loader = train_loader
-        self.val_loader = val_loader
+        self.train_loader = ensure_batch_source(train_loader, "train_loader")
+        self.val_loader = (None if val_loader is None
+                           else ensure_batch_source(val_loader, "val_loader"))
         self.strategy = strategy
         self.scaler = scaler
         self.loss_fn = loss_fn
@@ -203,6 +205,11 @@ class DDPTrainer:
         """Distributed validation: ranks evaluate partitions, all-reduce.
 
         Mirrors the paper's note that validation accuracy uses AllReduce.
+        Each rank contributes its ``(abs-error sum, unmasked count)`` pair
+        and the sums are reduced, so the result equals the masked MAE over
+        the concatenated snapshots regardless of how partition sizes or
+        missing-data fractions vary across ranks (empty ranks contribute
+        nothing instead of biasing the mean toward zero).
         """
         loader = loader or self.val_loader
         if loader is None:
@@ -210,12 +217,12 @@ class DDPTrainer:
         self.model.eval()
         n = loader.num_snapshots
         bounds = np.linspace(0, n, self.world_size + 1).astype(int)
-        maes = []
+        partials = []
         with no_grad():
             for rank in range(self.world_size):
                 sel = np.arange(bounds[rank], bounds[rank + 1])
                 if len(sel) == 0:
-                    maes.append(np.array([0.0]))
+                    partials.append(np.array([0.0, 0.0]))
                     continue
                 if max_batches is not None:
                     sel = sel[: max_batches * loader.batch_size]
@@ -226,13 +233,18 @@ class DDPTrainer:
                     pred = self.scaler.inverse_transform_channel(pred, 0)
                     truth = self.scaler.inverse_transform_channel(truth, 0)
                 self._charge_rank_compute(rank, len(sel))
-                maes.append(np.array([masked_mae(pred, truth)]))
-        reduced = self.comm.allreduce(maes, op="mean", category="metric")
-        return float(reduced[0][0])
+                abs_sum, count = masked_abs_error(pred, truth)
+                partials.append(np.array([abs_sum, float(count)]))
+        reduced = self.comm.allreduce(partials, op="sum", category="metric")
+        total_abs, total_count = reduced[0]
+        if total_count == 0:
+            return float("nan")
+        return float(total_abs / total_count)
 
     # ------------------------------------------------------------------
     def fit(self, epochs: int, *, scheduler=None,
-            eval_max_batches: int | None = None) -> list[DDPEpochRecord]:
+            eval_max_batches: int | None = None,
+            verbose: bool = False) -> list[DDPEpochRecord]:
         for epoch in range(epochs):
             t0 = self.comm.now
             c0 = self.comm.elapsed_breakdown()
@@ -245,6 +257,11 @@ class DDPTrainer:
                 sim_seconds=self.comm.now - t0,
                 comm_seconds=c1["comm"] - c0["comm"],
                 compute_seconds=c1["compute"] - c0["compute"]))
+            if verbose:
+                print(f"epoch {epoch:3d}  loss {loss:.4f}  "
+                      f"val MAE {val:.4f}  "
+                      f"({self.history[-1].sim_seconds * 1e3:.3f} sim-ms "
+                      f"x{self.world_size} ranks)")
             if scheduler is not None:
                 scheduler.step()
         return self.history

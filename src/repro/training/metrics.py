@@ -20,15 +20,30 @@ def rmse(pred: np.ndarray, target: np.ndarray) -> float:
     return float(np.sqrt(mse(pred, target)))
 
 
-def masked_mae(pred: np.ndarray, target: np.ndarray,
-               null_value: float = 0.0) -> float:
-    """MAE over entries whose target is not ``null_value`` (missing data)."""
+def masked_abs_error(pred: np.ndarray, target: np.ndarray,
+                     null_value: float = 0.0) -> tuple[float, int]:
+    """Sum of absolute errors over unmasked entries, plus their count.
+
+    The two-part form lets callers aggregate a correctly-weighted MAE
+    across batches whose masked fractions differ: sum the sums, sum the
+    counts, divide once.
+    """
     pred = np.asarray(pred)
     target = np.asarray(target)
     mask = target != null_value
-    if not mask.any():
+    count = int(np.count_nonzero(mask))
+    if count == 0:
+        return 0.0, 0
+    return float(np.abs(pred[mask] - target[mask]).sum()), count
+
+
+def masked_mae(pred: np.ndarray, target: np.ndarray,
+               null_value: float = 0.0) -> float:
+    """MAE over entries whose target is not ``null_value`` (missing data)."""
+    total, count = masked_abs_error(pred, target, null_value)
+    if count == 0:
         return 0.0
-    return float(np.mean(np.abs(pred[mask] - target[mask])))
+    return total / count
 
 
 def mape(pred: np.ndarray, target: np.ndarray, eps: float = 1e-3) -> float:

@@ -16,13 +16,14 @@ import numpy as np
 
 from repro.autograd.grad_mode import no_grad
 from repro.autograd.tensor import Tensor
+from repro.batching.protocols import BatchSource, ensure_batch_source
 from repro.batching.samplers import Sampler, GlobalShuffleSampler
 from repro.models.base import STModel
 from repro.models.dcrnn import DCRNN
 from repro.optim.losses import l1_loss
 from repro.optim.optimizers import Optimizer, clip_grad_norm
 from repro.preprocessing.scaler import StandardScaler
-from repro.training.metrics import masked_mae
+from repro.training.metrics import masked_abs_error
 
 
 @dataclass
@@ -42,21 +43,24 @@ class Trainer:
     Parameters
     ----------
     model, optimizer: the usual pair; gradient clipping at ``clip_norm``.
-    train_loader / val_loader: objects with ``batch_at(sel)``,
-        ``num_snapshots`` and ``batch_size`` (either loader class works).
+    train_loader / val_loader: :class:`~repro.batching.protocols.BatchSource`
+        implementations (either loader class works); validated here.
     scaler: inverse-transforms predictions for original-unit metrics.
     loss_fn: Tensor loss on standardized values (default L1).
     sampler: training-order sampler; defaults to global shuffling.
     """
 
-    def __init__(self, model: STModel, optimizer: Optimizer, train_loader,
-                 val_loader=None, *, scaler: StandardScaler | None = None,
+    def __init__(self, model: STModel, optimizer: Optimizer,
+                 train_loader: BatchSource,
+                 val_loader: BatchSource | None = None, *,
+                 scaler: StandardScaler | None = None,
                  loss_fn: Callable = l1_loss, clip_norm: float = 5.0,
                  sampler: Sampler | None = None, seed: int | str = 0):
         self.model = model
         self.optimizer = optimizer
-        self.train_loader = train_loader
-        self.val_loader = val_loader
+        self.train_loader = ensure_batch_source(train_loader, "train_loader")
+        self.val_loader = (None if val_loader is None
+                           else ensure_batch_source(val_loader, "val_loader"))
         self.scaler = scaler
         self.loss_fn = loss_fn
         self.clip_norm = clip_norm
@@ -96,12 +100,17 @@ class Trainer:
 
     # ------------------------------------------------------------------
     def evaluate(self, loader=None, max_batches: int | None = None) -> float:
-        """Masked MAE on original units over a loader's snapshots."""
+        """Masked MAE on original units over a loader's snapshots.
+
+        Batches are weighted by their *unmasked* entry count, so the result
+        equals the masked MAE over the concatenated snapshots even when the
+        missing-data fraction varies across batches.
+        """
         loader = loader or self.val_loader
         if loader is None:
             raise ValueError("no evaluation loader provided")
         self.model.eval()
-        errors, counts = [], []
+        total_abs, total_count = 0.0, 0
         with no_grad():
             for i, (x, y) in enumerate(loader.batches()):
                 if max_batches is not None and i >= max_batches:
@@ -111,11 +120,12 @@ class Trainer:
                 if self.scaler is not None:
                     pred = self.scaler.inverse_transform_channel(pred, 0)
                     truth = self.scaler.inverse_transform_channel(truth, 0)
-                errors.append(masked_mae(pred, truth))
-                counts.append(pred.size)
-        if not errors:
+                abs_sum, count = masked_abs_error(pred, truth)
+                total_abs += abs_sum
+                total_count += count
+        if total_count == 0:
             return float("nan")
-        return float(np.average(errors, weights=counts))
+        return total_abs / total_count
 
     # ------------------------------------------------------------------
     def fit(self, epochs: int, *, scheduler=None, verbose: bool = False,

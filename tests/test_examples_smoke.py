@@ -1,0 +1,75 @@
+"""Smoke-run every ``examples/*.py`` in-process at tiny sizes.
+
+Each example's ``main`` accepts size knobs precisely so this test can
+shrink it to seconds; a per-example alarm guards against hangs, so API
+refactors cannot silently break (or stall) the documented entry points.
+"""
+
+import importlib.util
+import signal
+import sys
+from contextlib import contextmanager
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parents[1] / "examples"
+
+#: example module -> kwargs that shrink its main() to a smoke run.
+EXAMPLE_ARGS = {
+    "quickstart": dict(scale="tiny", epochs=1),
+    "model_zoo": dict(scale="tiny", epochs=1),
+    "distributed_training": dict(scale="tiny", world=2, epochs=1),
+    "memory_comparison": dict(nodes=8, entries=200),
+    "dynamic_graphs": dict(nodes=10, entries=300, epochs=1, horizon=4),
+    "scaling_study": dict(epochs=5),
+}
+
+TIMEOUT_SECONDS = 120
+
+
+@contextmanager
+def alarm(seconds: int, label: str):
+    if not hasattr(signal, "SIGALRM"):  # non-unix fallback: no guard
+        yield
+        return
+
+    def _timeout(signum, frame):
+        raise TimeoutError(f"example {label!r} exceeded {seconds}s")
+
+    previous = signal.signal(signal.SIGALRM, _timeout)
+    signal.alarm(seconds)
+    try:
+        yield
+    finally:
+        signal.alarm(0)
+        signal.signal(signal.SIGALRM, previous)
+
+
+def _load_example(name: str):
+    spec = importlib.util.spec_from_file_location(
+        f"examples_smoke_{name}", EXAMPLES_DIR / f"{name}.py")
+    module = importlib.util.module_from_spec(spec)
+    sys.modules[spec.name] = module
+    try:
+        spec.loader.exec_module(module)
+    finally:
+        sys.modules.pop(spec.name, None)
+    return module
+
+
+def test_every_example_is_covered():
+    """A new example must either get smoke args here or opt out loudly."""
+    on_disk = {p.stem for p in EXAMPLES_DIR.glob("*.py")}
+    assert on_disk == set(EXAMPLE_ARGS), (
+        "examples/ and EXAMPLE_ARGS disagree; add smoke kwargs for new "
+        "examples so refactors keep them runnable")
+
+
+@pytest.mark.parametrize("name", sorted(EXAMPLE_ARGS))
+def test_example_runs(name, capsys):
+    module = _load_example(name)
+    with alarm(TIMEOUT_SECONDS, name):
+        module.main(**EXAMPLE_ARGS[name])
+    out = capsys.readouterr().out
+    assert out.strip(), f"example {name!r} printed nothing"

@@ -167,6 +167,14 @@ class TestDDPTrainer:
         assert np.isfinite(v) and v > 0
         assert tr.comm.stats.bytes_by_category.get("metric", 0) > 0
 
+    def test_evaluate_partition_invariant(self, tiny_setup):
+        """Val MAE must not depend on how ranks partition the split, even
+        when the world is so large that some ranks get no snapshots."""
+        values = {w: self._trainer(tiny_setup, world=w).evaluate()
+                  for w in (1, 4, 32)}  # val split has ~21 snapshots < 32
+        assert values[1] == pytest.approx(values[4], rel=1e-9)
+        assert values[1] == pytest.approx(values[32], rel=1e-9)
+
     def test_world1_matches_semantics(self, tiny_setup):
         tr = self._trainer(tiny_setup, world=1)
         hist = tr.fit(1)
