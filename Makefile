@@ -1,0 +1,19 @@
+# Convenience entries; everything also runs as plain commands with
+# PYTHONPATH=src.
+
+PY := PYTHONPATH=src python
+
+.PHONY: test bench bench-quick bench-diff
+
+test:                       ## tier-1: full unit + benchmark-shape suite
+	$(PY) -m pytest -x -q
+
+bench:                      ## write the next BENCH_<n>.json (full timing)
+	$(PY) -m benchmarks.run_bench
+
+bench-quick:                ## CI smoke: short timing windows, 1 epoch
+	$(PY) -m benchmarks.run_bench --quick --out /tmp/bench-quick.json
+
+# usage: make bench-diff OLD=BENCH_1.json NEW=BENCH_2.json
+bench-diff:
+	$(PY) -m benchmarks.run_bench --diff $(OLD) $(NEW)

@@ -1,0 +1,2 @@
+"""Benchmarks package: pytest-benchmark paper artifacts plus the
+``python -m benchmarks.run_bench`` measured-perf snapshot CLI."""

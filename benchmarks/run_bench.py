@@ -1,0 +1,80 @@
+"""CLI for the measured-performance snapshot harness.
+
+Usage::
+
+    # full run, writes the next free BENCH_<n>.json in the repo root
+    python -m benchmarks.run_bench
+
+    # fast smoke run (CI): fewer timing iterations, 1 training epoch
+    python -m benchmarks.run_bench --quick --out /tmp/bench.json
+
+    # compare two snapshots (exit code 1 if a training point regressed)
+    python -m benchmarks.run_bench --diff BENCH_1.json BENCH_2.json
+
+See ``benchmarks/README.md`` for the JSON schema and conventions.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.profiling.bench import (
+    collect,
+    diff_benches,
+    format_diff,
+    load_snapshot,
+    next_bench_path,
+    write_snapshot,
+)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="run_bench", description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter)
+    parser.add_argument("--quick", action="store_true",
+                        help="fast smoke mode: short timing windows, "
+                             "1 training epoch")
+    parser.add_argument("--out", type=Path, default=None,
+                        help="output path (default: next free BENCH_<n>.json "
+                             "in the current directory)")
+    parser.add_argument("--label", default="",
+                        help="free-form note recorded in the snapshot")
+    parser.add_argument("--diff", nargs=2, metavar=("OLD", "NEW"),
+                        help="compare two snapshots instead of measuring")
+    parser.add_argument("--fail-on-regression", type=float, default=None,
+                        metavar="RATIO",
+                        help="with --diff: exit 1 if any training "
+                             "steps/sec speedup falls below RATIO")
+    args = parser.parse_args(argv)
+
+    if args.diff:
+        old = load_snapshot(args.diff[0])
+        new = load_snapshot(args.diff[1])
+        d = diff_benches(old, new)
+        print(format_diff(d))
+        if args.fail_on_regression is not None:
+            bad = [k for k, v in d["training"].items()
+                   if v["speedup"] < args.fail_on_regression]
+            if bad:
+                print(f"REGRESSION: {', '.join(bad)} below "
+                      f"x{args.fail_on_regression}", file=sys.stderr)
+                return 1
+        return 0
+
+    data = collect(quick=args.quick, label=args.label)
+    out = args.out if args.out is not None else next_bench_path(".")
+    write_snapshot(data, out)
+    train = data["training"]["dcrnn_index_adam"]
+    print(f"wrote {out}")
+    print(f"  dcrnn/index/adam: {train['steps_per_sec']:.1f} steps/s, "
+          f"peak {train['peak_bytes']} B")
+    for m in data["micro"]:
+        print(f"  {m['name']}: {m['ops_per_sec']:.1f} ops/s")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -17,7 +17,9 @@ Design notes
 """
 
 from repro.autograd import functional
+from repro.autograd.buffers import GRAD_POOL, ArrayPool
 from repro.autograd.grad_mode import is_grad_enabled, no_grad
+from repro.autograd.sparse_kernels import PreparedCSR, prepared_csr
 from repro.autograd.tensor import Tensor, as_tensor, unbroadcast
 
 __all__ = [
@@ -27,4 +29,8 @@ __all__ = [
     "no_grad",
     "is_grad_enabled",
     "functional",
+    "ArrayPool",
+    "GRAD_POOL",
+    "PreparedCSR",
+    "prepared_csr",
 ]

@@ -12,6 +12,8 @@ from typing import Sequence
 import numpy as np
 import scipy.sparse as sp
 
+from repro.autograd.buffers import GRAD_POOL
+from repro.autograd.sparse_kernels import prepared_csr
 from repro.autograd.tensor import Tensor, as_tensor, unbroadcast
 from repro.utils.errors import ShapeError
 
@@ -22,12 +24,20 @@ def concat(tensors: Sequence[Tensor], axis: int = 0) -> Tensor:
     data = np.concatenate([t.data for t in tensors], axis=axis)
     out = tensors[0]._make(data, tensors)
     if out.requires_grad:
-        sizes = [t.data.shape[axis] for t in tensors]
-        splits = np.cumsum(sizes)[:-1]
+        # Precompute each input's slice of the output; backward hands out
+        # zero-copy views instead of paying np.split's dispatch per call.
+        ax = axis if axis >= 0 else data.ndim + axis
+        head = (slice(None),) * ax
+        slices = []
+        offset = 0
+        for t in tensors:
+            size = t.data.shape[axis]
+            slices.append(head + (slice(offset, offset + size),))
+            offset += size
 
         def _bw(g: np.ndarray) -> None:
-            for t, piece in zip(tensors, np.split(g, splits, axis=axis)):
-                t._accumulate(piece)
+            for t, sl in zip(tensors, slices):
+                t._accumulate(g[sl])
 
         out._backward = _bw
     return out
@@ -155,31 +165,88 @@ def sparse_matmul(matrix: sp.spmatrix, x: Tensor) -> Tensor:
     ``x`` may be 2-D ``[n, d]`` or 3-D ``[batch, n, d]`` (applied per batch
     element by flattening the trailing axes, the standard GNN trick).  The
     sparse operand is a graph support and receives no gradient.
+
+    The support is prepared once per compute dtype (CSR arrays cast to
+    ``x.dtype``, transpose precomputed) and the product runs through the
+    raw CSR kernel; layout scratch comes from the shared array pool, so
+    steady-state calls allocate only the output itself.
     """
     x = as_tensor(x)
-    A = matrix.tocsr()
+    A = prepared_csr(matrix, x.dtype)
     if x.ndim == 2:
-        data = A @ x.data
+        xd = x.data if x.data.flags.c_contiguous else np.ascontiguousarray(x.data)
+        data = A.matmul(xd)
     elif x.ndim == 3:
         b, n, d = x.shape
         if n != A.shape[1]:
             raise ShapeError(f"support has {A.shape[1]} cols, input has {n} nodes")
         # [b, n, d] -> [n, b*d] so one CSR matmul covers the whole batch.
-        flat = np.ascontiguousarray(x.data.transpose(1, 0, 2)).reshape(n, b * d)
-        data = (A @ flat).reshape(A.shape[0], b, d).transpose(1, 0, 2)
+        flat = _pooled_transpose(x.data)
+        data = A.matmul(flat.reshape(n, b * d)).reshape(A.shape[0], b, d)
+        GRAD_POOL.give(flat)
+        data = data.transpose(1, 0, 2)
     else:
         raise ShapeError(f"sparse_matmul expects 2-D or 3-D input, got {x.ndim}-D")
     out = x._make(data, (x,))
     if out.requires_grad:
-        At = A.T.tocsr()
+        At = A.T
 
         def _bw(g: np.ndarray) -> None:
             if g.ndim == 2:
-                x._accumulate(At @ g)
+                gd = g if g.flags.c_contiguous else np.ascontiguousarray(g)
+                res = _pooled_empty((At.shape[0], g.shape[1]), gd.dtype)
+                x._accumulate(At.matmul_out(gd, res))
+                GRAD_POOL.give(res)
             else:
                 b, m, d = g.shape
-                flat = np.ascontiguousarray(g.transpose(1, 0, 2)).reshape(m, b * d)
-                x._accumulate((At @ flat).reshape(At.shape[0], b, d).transpose(1, 0, 2))
+                flat = _pooled_transpose(g)
+                res = _pooled_empty((At.shape[0], b, d), flat.dtype)
+                At.matmul_out(flat.reshape(m, b * d), res.reshape(-1, b * d))
+                x._accumulate(res.transpose(1, 0, 2))
+                GRAD_POOL.give(flat)
+                GRAD_POOL.give(res)
+
+        out._backward = _bw
+    return out
+
+
+def _pooled_empty(shape: tuple[int, ...], dtype) -> np.ndarray:
+    """A pooled (or fresh) uninitialised array for transient scratch."""
+    buf = GRAD_POOL.take(shape, dtype)
+    return buf if buf is not None else np.empty(shape, dtype)
+
+
+def _pooled_transpose(arr: np.ndarray) -> np.ndarray:
+    """Contiguous ``[n, b, d]`` copy of a ``[b, n, d]`` array via the pool."""
+    b, n, d = arr.shape
+    buf = _pooled_empty((n, b, d), arr.dtype)
+    np.copyto(buf, arr.transpose(1, 0, 2))
+    return buf
+
+
+def gru_update(u: Tensor, h: Tensor, cand: Tensor) -> Tensor:
+    """Fused GRU state update ``u * h + (1 - u) * cand`` as one graph node.
+
+    Computes the same elementary operations (and therefore the same
+    floating-point values) as the four-node composition it replaces, but
+    records a single backward closure instead of four.
+    """
+    u = as_tensor(u)
+    h = as_tensor(h, like=u)
+    cand = as_tensor(cand, like=u)
+    ud, hd, cd = u.data, h.data, cand.data
+    one_minus_u = 1.0 - ud
+    data = ud * hd
+    data += one_minus_u * cd
+    out = u._make(data, (u, h, cand))
+    if out.requires_grad:
+
+        def _bw(g: np.ndarray) -> None:
+            gu = g * hd
+            gu -= g * cd
+            u._accumulate(unbroadcast(gu, ud.shape))
+            h._accumulate(unbroadcast(g * ud, hd.shape))
+            cand._accumulate(unbroadcast(g * one_minus_u, cd.shape))
 
         out._backward = _bw
     return out

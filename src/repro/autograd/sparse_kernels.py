@@ -1,0 +1,102 @@
+"""Low-overhead CSR kernels for the training hot path.
+
+The graph supports used by every ST-GNN layer are *constants*: the same
+sparse matrix multiplies thousands of activations per epoch.  Going
+through ``scipy.sparse.__matmul__`` for each of those pays for format
+checks, index-dtype negotiation and a fresh ``A.T.tocsr()`` conversion on
+every backward — which profiling shows dominates small-scale training.
+
+This module keeps a bounded cache of *prepared* supports: the CSR arrays
+cast to the compute dtype plus the precomputed CSR transpose.  The actual
+product is computed by scipy's C kernel (``csr_matvecs``) directly into a
+caller-provided output buffer, skipping the wrapper entirely; when the
+private kernel is unavailable the code transparently falls back to the
+public operator.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.sparse as sp
+
+try:  # scipy's C kernel: csr_matvecs(M, N, n_vecs, indptr, indices, data, x, y)
+    from scipy.sparse import _sparsetools as _st
+    _HAVE_CSR_MATVECS = hasattr(_st, "csr_matvecs")
+except ImportError:  # pragma: no cover - depends on scipy build
+    _st = None
+    _HAVE_CSR_MATVECS = False
+
+
+class PreparedCSR:
+    """One support matrix readied for repeated products in one dtype."""
+
+    __slots__ = ("shape", "indptr", "indices", "data", "csr", "_transpose")
+
+    def __init__(self, matrix: sp.spmatrix, dtype: np.dtype):
+        csr = matrix.tocsr()
+        if csr.data.dtype != dtype:
+            csr = csr.astype(dtype)
+        csr.sum_duplicates()
+        self.csr = csr
+        self.shape = csr.shape
+        self.indptr = csr.indptr
+        self.indices = csr.indices
+        self.data = csr.data
+        self._transpose: PreparedCSR | None = None
+
+    @property
+    def T(self) -> "PreparedCSR":
+        """Prepared transpose (computed once, cached)."""
+        if self._transpose is None:
+            t = PreparedCSR(self.csr.T.tocsr(), self.data.dtype)
+            t._transpose = self
+            self._transpose = t
+        return self._transpose
+
+    def matmul_out(self, x: np.ndarray, out: np.ndarray) -> np.ndarray:
+        """``out[:] = A @ x`` for C-contiguous 2-D ``x``; no allocation.
+
+        ``x`` is ``[n, v]``, ``out`` is ``[m, v]``; both must match the
+        prepared dtype (the C kernel is monomorphic).
+        """
+        if _HAVE_CSR_MATVECS and x.flags.c_contiguous and \
+                out.flags.c_contiguous and x.dtype == self.data.dtype \
+                and out.dtype == self.data.dtype:
+            out[...] = 0
+            _st.csr_matvecs(self.shape[0], self.shape[1], x.shape[1],
+                            self.indptr, self.indices, self.data,
+                            x.reshape(-1), out.reshape(-1))
+            return out
+        np.copyto(out, self.csr @ x, casting="unsafe")
+        return out
+
+    def matmul(self, x: np.ndarray) -> np.ndarray:
+        """``A @ x`` into a fresh array (for outputs that must be owned)."""
+        out = np.empty((self.shape[0], x.shape[1]), dtype=self.data.dtype)
+        return self.matmul_out(x, out)
+
+
+#: Prepared-support memo.  Keyed by (id(matrix), dtype); each value keeps a
+#: strong reference to its source matrix so an id cannot be recycled while
+#: its entry is alive.  Bounded FIFO like the api-layer caches.
+_PREPARED: dict[tuple[int, str], tuple[sp.spmatrix, PreparedCSR]] = {}
+_PREPARED_MAX = 64
+
+
+def prepared_csr(matrix: sp.spmatrix, dtype) -> PreparedCSR:
+    """Cached :class:`PreparedCSR` for ``matrix`` in ``dtype``."""
+    dtype = np.dtype(dtype)
+    key = (id(matrix), dtype.str)
+    entry = _PREPARED.get(key)
+    if entry is not None and entry[0] is matrix:
+        return entry[1]
+    if len(_PREPARED) >= _PREPARED_MAX:
+        _PREPARED.pop(next(iter(_PREPARED)))
+    prepared = PreparedCSR(matrix, dtype)
+    _PREPARED[key] = (matrix, prepared)
+    return prepared
+
+
+def clear_prepared_cache() -> None:
+    """Drop all cached prepared supports (tests / memory pressure)."""
+    _PREPARED.clear()

@@ -12,6 +12,7 @@ from typing import Callable, Iterable, Sequence
 
 import numpy as np
 
+from repro.autograd.buffers import GRAD_POOL
 from repro.autograd.grad_mode import is_grad_enabled
 from repro.utils.errors import ShapeError
 
@@ -65,7 +66,7 @@ class Tensor:
         arr = np.asarray(data)
         if dtype is not None:
             arr = arr.astype(dtype, copy=False)
-        elif not np.issubdtype(arr.dtype, np.floating):
+        elif arr.dtype.kind != "f":  # non-float input: cast to default float
             arr = arr.astype(DEFAULT_DTYPE)
         self.data: np.ndarray = arr
         self.grad: np.ndarray | None = None
@@ -139,23 +140,33 @@ class Tensor:
     def _make(self, data: np.ndarray, parents: Sequence["Tensor"]) -> "Tensor":
         """Create an output tensor, wiring ``requires_grad`` and parents."""
         rg = is_grad_enabled() and any(p.requires_grad for p in parents)
-        out = Tensor(data, requires_grad=rg, dtype=None if np.issubdtype(
-            np.asarray(data).dtype, np.floating) else DEFAULT_DTYPE)
+        out = Tensor(data, requires_grad=rg)
         if rg:
             out._parents = tuple(parents)
         return out
 
     def _accumulate(self, grad: np.ndarray) -> None:
-        """Add ``grad`` into ``self.grad`` (allocating on first use)."""
+        """Add ``grad`` into ``self.grad`` without allocating when possible.
+
+        First-touch buffers come from the shared :data:`GRAD_POOL` (refilled
+        by ``backward`` when interior nodes release their gradients), so a
+        steady-state training step performs no gradient allocations at all.
+        """
         if not self.requires_grad:
             return
-        grad = np.asarray(grad, dtype=self.data.dtype)
+        if not (isinstance(grad, np.ndarray) and grad.dtype == self.data.dtype):
+            grad = np.asarray(grad, dtype=self.data.dtype)
         if grad.shape != self.data.shape:
             grad = unbroadcast(grad, self.data.shape)
         if self.grad is None:
-            self.grad = grad.copy()
+            buf = GRAD_POOL.take(self.data.shape, self.data.dtype)
+            if buf is None:
+                self.grad = grad.copy()
+            else:
+                np.copyto(buf, grad)
+                self.grad = buf
         else:
-            self.grad += grad
+            np.add(self.grad, grad, out=self.grad)
 
     def backward(self, grad: np.ndarray | None = None) -> None:
         """Backpropagate from this tensor through the recorded graph.
@@ -193,8 +204,10 @@ class Tensor:
             node._backward(node.grad)
             # Interior activations are single-use: free their gradient and
             # graph edges so large training graphs are reclaimed eagerly
-            # (important for long unrolled RNN sequences).
+            # (important for long unrolled RNN sequences).  The gradient
+            # buffer goes back to the pool for the next step's backward.
             if node._parents:
+                GRAD_POOL.give(node.grad)
                 node.grad = None
                 node._backward = None
                 node._parents = ()
@@ -384,10 +397,17 @@ class Tensor:
         out = self._make(self.data[idx], (self,))
         if out.requires_grad:
             a = self
+            # Basic (slice/int) indexing selects each element at most once,
+            # so the scatter is a plain assignment; only advanced (array)
+            # indexing needs the much slower duplicate-safe np.add.at.
+            basic = _is_basic_index(idx)
 
             def _bw(g: np.ndarray) -> None:
                 full = np.zeros_like(a.data)
-                np.add.at(full, idx, g)
+                if basic:
+                    full[idx] = g
+                else:
+                    np.add.at(full, idx, g)
                 a._accumulate(full)
 
             out._backward = _bw
@@ -488,12 +508,13 @@ class Tensor:
         return out
 
     def sigmoid(self) -> "Tensor":
-        # Numerically stable logistic.
-        data = np.where(self.data >= 0,
-                        1.0 / (1.0 + np.exp(-np.clip(self.data, -60, 60))),
-                        np.exp(np.clip(self.data, -60, 60))
-                        / (1.0 + np.exp(np.clip(self.data, -60, 60))))
-        data = data.astype(self.data.dtype)
+        # Numerically stable logistic via one exp of the negated magnitude:
+        # x >= 0: 1/(1+e^-x); x < 0: e^x/(1+e^x).  Equal to the clipped
+        # two-branch formulation to float precision, at a third of the cost.
+        t = np.exp(-np.abs(self.data))
+        denom = t + 1.0
+        data = np.where(self.data >= 0, 1.0 / denom, t / denom)
+        data = data.astype(self.data.dtype, copy=False)
         out = self._make(data, (self,))
         if out.requires_grad:
             a = self
@@ -530,6 +551,14 @@ class Tensor:
 
 def _raw(x) -> np.ndarray:
     return x.data if isinstance(x, Tensor) else np.asarray(x)
+
+
+def _is_basic_index(idx) -> bool:
+    """True when ``idx`` is pure basic indexing (no arrays, no bool masks)."""
+    if isinstance(idx, tuple):
+        return all(_is_basic_index(i) for i in idx)
+    return idx is None or idx is Ellipsis or isinstance(idx, (int, slice)) \
+        or (np.isscalar(idx) and np.issubdtype(type(idx), np.integer))
 
 
 def _norm_axes(axis, ndim: int) -> tuple[int, ...]:

@@ -8,6 +8,19 @@ order ``K``, the layer computes
 i.e. features are propagated 0..K hops along each diffusion direction and
 the concatenated hop features are mixed by a dense map.  The number of
 concatenated blocks is ``1 + S*K`` (identity hop counted once).
+
+Two execution paths compute identical math:
+
+- the **fused** path (default) records a single autograd node per call.
+  Hops are written straight into slices of one node-major
+  ``[nodes, batch, num_matrices * in_dim]`` block (no Python list, no
+  ``concat``, no split-copy backward), sparse products run through the
+  prepared-CSR kernel into rotating scratch buffers that persist across
+  steps, and the backward scatters gradients through per-hop views of the
+  same block.
+- the **naive** path composes the public autograd ops exactly as the seed
+  implementation did.  It exists as the parity reference: tests assert
+  both paths agree to float tolerance in both dtypes.
 """
 
 from __future__ import annotations
@@ -16,6 +29,8 @@ import numpy as np
 import scipy.sparse as sp
 
 from repro.autograd import functional as F
+from repro.autograd.grad_mode import is_grad_enabled
+from repro.autograd.sparse_kernels import prepared_csr
 from repro.autograd.tensor import Tensor
 from repro.nn.init import glorot_uniform, zeros_
 from repro.nn.module import Module, Parameter
@@ -23,11 +38,33 @@ from repro.utils.errors import ShapeError
 from repro.utils.seeding import new_rng
 
 
+class _Scratch:
+    """Per-(batch, dtype) persistent buffers for one DiffusionConv."""
+
+    __slots__ = ("x0", "ping", "pong", "gout", "gcat", "gx", "gw", "gb",
+                 "cat_eval")
+
+    def __init__(self, n: int, b: int, f: int, m: int, o: int, dtype):
+        self.x0 = np.empty((n, b, f), dtype)      # hop-0 input, node-major
+        self.ping = np.empty((n, b, f), dtype)    # rotating hop buffers
+        self.pong = np.empty((n, b, f), dtype)
+        self.gout = np.empty((n, b, o), dtype)    # transposed output grad
+        self.gcat = np.empty((n, b, m * f), dtype)
+        self.gx = np.empty((n, b, f), dtype)      # accumulated input grad
+        self.gw = np.empty((m * f, o), dtype)
+        self.gb = np.empty((o,), dtype)
+        self.cat_eval = None                      # lazy: no-grad forward only
+
+
 class DiffusionConv(Module):
     """K-hop diffusion convolution over ``[batch, nodes, in_dim]`` inputs."""
 
+    #: Class-wide switch so tests can force the naive reference path.
+    fused_default: bool = True
+
     def __init__(self, supports: list[sp.spmatrix], in_dim: int, out_dim: int,
-                 k_hops: int = 2, *, seed_name: str = "dconv"):
+                 k_hops: int = 2, *, seed_name: str = "dconv",
+                 fused: bool | None = None):
         super().__init__()
         if k_hops < 0:
             raise ValueError("k_hops must be >= 0")
@@ -42,16 +79,24 @@ class DiffusionConv(Module):
         self.in_dim = in_dim
         self.out_dim = out_dim
         self.k_hops = k_hops
+        self.fused = fused
         self.num_matrices = 1 + len(self.supports) * k_hops
         rng = new_rng("nn", seed_name, in_dim, out_dim, k_hops)
         self.weight = Parameter(
             glorot_uniform(rng, self.num_matrices * in_dim, out_dim))
         self.bias = Parameter(zeros_((out_dim,)))
+        self._scratch: dict[tuple, _Scratch] = {}
 
+    # ------------------------------------------------------------------
     def forward(self, x: Tensor) -> Tensor:
         if x.ndim != 3 or x.shape[1] != self.num_nodes or x.shape[2] != self.in_dim:
             raise ShapeError(f"expected [batch, {self.num_nodes}, {self.in_dim}], "
                              f"got {x.shape}")
+        fused = self.fused if self.fused is not None else self.fused_default
+        return self._forward_fused(x) if fused else self._forward_naive(x)
+
+    def _forward_naive(self, x: Tensor) -> Tensor:
+        """Reference composition of public autograd ops (seed semantics)."""
         hops = [x]
         for support in self.supports:
             xk = x
@@ -60,6 +105,102 @@ class DiffusionConv(Module):
                 hops.append(xk)
         cat = F.concat(hops, axis=-1)  # [batch, nodes, num_matrices * in_dim]
         return cat @ self.weight + self.bias
+
+    # ------------------------------------------------------------------
+    def _get_scratch(self, b: int, dtype: np.dtype) -> _Scratch:
+        key = (b, dtype.str)
+        scr = self._scratch.get(key)
+        if scr is None:
+            if len(self._scratch) > 8:  # distinct batch sizes are rare
+                self._scratch.clear()
+            scr = _Scratch(self.num_nodes, b, self.in_dim,
+                           self.num_matrices, self.out_dim, dtype)
+            self._scratch[key] = scr
+        return scr
+
+    def _forward_fused(self, x: Tensor) -> Tensor:
+        b, n, f = x.shape
+        m, o, k = self.num_matrices, self.out_dim, self.k_hops
+        dtype = x.dtype
+        prepared = [prepared_csr(s, dtype) for s in self.supports]
+        scr = self._get_scratch(b, dtype)
+        rg = is_grad_enabled() and (x.requires_grad or
+                                    self.weight.requires_grad or
+                                    self.bias.requires_grad)
+
+        # The hop block is consumed by backward (it is the GEMM input whose
+        # transpose produces the weight gradient), so it must be owned per
+        # call when gradients are on; in no-grad mode one persistent buffer
+        # is reused instead.
+        if rg:
+            cat = np.empty((n, b, m * f), dtype)
+        else:
+            if scr.cat_eval is None:
+                scr.cat_eval = np.empty((n, b, m * f), dtype)
+            cat = scr.cat_eval
+
+        np.copyto(scr.x0, x.data.transpose(1, 0, 2))
+        cat[:, :, :f] = scr.x0
+        x0_flat = scr.x0.reshape(n, b * f)
+        col = f
+        if k:
+            for P in prepared:
+                prev = x0_flat
+                hop_bufs = (scr.ping, scr.pong)
+                for j in range(k):
+                    nxt = hop_bufs[j % 2]
+                    P.matmul_out(prev, nxt.reshape(n, b * f))
+                    cat[:, :, col: col + f] = nxt
+                    col += f
+                    prev = nxt.reshape(n, b * f)
+
+        cat2 = cat.reshape(n * b, m * f)
+        out2 = np.empty((n * b, o), dtype)
+        np.matmul(cat2, self.weight.data, out=out2)
+        out2 += self.bias.data
+        out = x._make(out2.reshape(n, b, o).transpose(1, 0, 2),
+                      (x, self.weight, self.bias))
+        if out.requires_grad:
+            weight, bias = self.weight, self.bias
+
+            def _bw(g: np.ndarray) -> None:
+                np.copyto(scr.gout, g.transpose(1, 0, 2))
+                g2 = scr.gout.reshape(n * b, o)
+                if weight.requires_grad:
+                    np.matmul(cat2.T, g2, out=scr.gw)
+                    weight._accumulate(scr.gw)
+                if bias.requires_grad:
+                    np.sum(g2, axis=0, out=scr.gb)
+                    bias._accumulate(scr.gb)
+                if x.requires_grad:
+                    gcat = scr.gcat
+                    np.matmul(g2, weight.data.T, out=gcat.reshape(n * b, m * f))
+                    np.copyto(scr.gx, gcat[:, :, :f])  # identity hop
+                    col = f
+                    for P in (prepared if k else ()):
+                        Pt = P.T
+                        # Chain the per-hop gradients back down:
+                        # acc_k = g_k;  acc_{j} = P^T acc_{j+1} + g_j;
+                        # input grad += P^T acc_1.
+                        bufs = (scr.ping, scr.pong)
+                        acc = bufs[0]
+                        np.copyto(acc, gcat[:, :, col + (k - 1) * f:
+                                            col + k * f])
+                        for j in range(k - 1, 0, -1):
+                            nxt = bufs[1] if acc is bufs[0] else bufs[0]
+                            Pt.matmul_out(acc.reshape(n, b * f),
+                                          nxt.reshape(n, b * f))
+                            nxt += gcat[:, :, col + (j - 1) * f: col + j * f]
+                            acc = nxt
+                        nxt = bufs[1] if acc is bufs[0] else bufs[0]
+                        Pt.matmul_out(acc.reshape(n, b * f),
+                                      nxt.reshape(n, b * f))
+                        scr.gx += nxt
+                        col += k * f
+                    x._accumulate(scr.gx.transpose(1, 0, 2))
+
+            out._backward = _bw
+        return out
 
     def flops(self, batch: int) -> float:
         """Forward flops for a batch (sparse propagation + dense mix)."""

@@ -44,7 +44,7 @@ class DCGRUCell(Module):
         r = gates[..., : self.hidden_dim]
         u = gates[..., self.hidden_dim:]
         cand = self.candidate(F.concat([x, r * h], axis=-1)).tanh()
-        return u * h + (1.0 - u) * cand
+        return F.gru_update(u, h, cand)
 
     def init_hidden(self, batch: int) -> Tensor:
         return Tensor(np.zeros((batch, self.num_nodes, self.hidden_dim),

@@ -41,7 +41,7 @@ class GRUCell(Module):
         u = gates[..., self.hidden_size:]
         cand_in = F.concat([x, r * h], axis=-1)
         c = (cand_in @ self.w_cand + self.b_cand).tanh()
-        return u * h + (1.0 - u) * c
+        return F.gru_update(u, h, c)
 
     def init_hidden(self, batch_size: int) -> Tensor:
         return Tensor(np.zeros((batch_size, self.hidden_size), dtype=np.float32))

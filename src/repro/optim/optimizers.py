@@ -1,25 +1,44 @@
-"""First-order optimizers operating on :class:`~repro.nn.module.Parameter` lists."""
+"""First-order optimizers operating on :class:`~repro.nn.module.Parameter` lists.
+
+All steady-state work here is allocation-free: gradient clipping computes
+the norm with BLAS dot products on the raveled gradients (no float64 full
+copies), ``zero_grad`` zeroes the persistent gradient buffers in place by
+default, and ``SGD``/``Adam`` stage every update through one reusable
+scratch buffer per parameter.  The in-place formulations execute the same
+elementary operations in the same order as the original allocating code,
+so parameter trajectories are reproduced to float precision.
+"""
 
 from __future__ import annotations
 
 import math
-from typing import Iterable, Sequence
+from typing import Iterable
 
 import numpy as np
 
 from repro.nn.module import Parameter
 
 
-def clip_grad_norm(params: Sequence[Parameter], max_norm: float) -> float:
+def clip_grad_norm(params: Iterable[Parameter], max_norm: float) -> float:
     """Scale gradients in place so their global L2 norm is at most ``max_norm``.
 
     DCRNN training uses gradient clipping (the reference implementation clips
     at norm 5).  Returns the pre-clip norm.
+
+    The per-tensor sum of squares comes from ``np.dot`` on the raveled
+    gradient (BLAS, no temporaries).  If that reduction overflows the
+    gradient dtype (exploding float32 gradients — exactly when clipping
+    matters), the affected tensor falls back to the exact float64
+    accumulation; the scalar total is always accumulated in float64.
     """
     total = 0.0
     grads = [p.grad for p in params if p.grad is not None]
     for g in grads:
-        total += float(np.sum(g.astype(np.float64) ** 2))
+        v = g.reshape(-1)
+        sq = float(np.dot(v, v))
+        if not math.isfinite(sq):
+            sq = float(np.sum(v.astype(np.float64) ** 2))
+        total += sq
     norm = math.sqrt(total)
     if norm > max_norm and norm > 0:
         scale = max_norm / norm
@@ -37,13 +56,36 @@ class Optimizer:
             raise ValueError("optimizer got an empty parameter list")
         self.lr = float(lr)
         self.step_count = 0
+        self._scratch: list[np.ndarray | None] = [None] * len(self.params)
 
-    def zero_grad(self) -> None:
+    def zero_grad(self, set_to_none: bool = False) -> None:
+        """Reset gradients.
+
+        By default existing gradient buffers are zeroed **in place**, so
+        the next ``backward()`` accumulates into the same arrays instead
+        of allocating fresh ones every step.  Pass ``set_to_none=True``
+        to release the buffers instead (frees memory; the old default).
+        """
         for p in self.params:
-            p.grad = None
+            if set_to_none:
+                p.grad = None
+            elif p.grad is not None:
+                p.grad.fill(0.0)
 
     def step(self) -> None:
         raise NotImplementedError
+
+    @staticmethod
+    def _staging(bufs: list, i: int, p: Parameter) -> np.ndarray:
+        """Persistent staging buffer from ``bufs[i]`` (lazily allocated)."""
+        buf = bufs[i]
+        if buf is None or buf.shape != p.data.shape or buf.dtype != p.data.dtype:
+            buf = np.empty_like(p.data)
+            bufs[i] = buf
+        return buf
+
+    def _scratch_for(self, i: int, p: Parameter) -> np.ndarray:
+        return self._staging(self._scratch, i, p)
 
 
 class SGD(Optimizer):
@@ -62,8 +104,12 @@ class SGD(Optimizer):
             if p.grad is None:
                 continue
             g = p.grad
+            s = self._scratch_for(i, p)
             if self.weight_decay:
-                g = g + self.weight_decay * p.data
+                # g += wd * p, staged through scratch; mutating p.grad is
+                # fine — it is consumed by this step and zeroed next step.
+                np.multiply(p.data, self.weight_decay, out=s)
+                g += s
             if self.momentum:
                 if self._velocity[i] is None:
                     self._velocity[i] = np.zeros_like(p.data)
@@ -71,7 +117,8 @@ class SGD(Optimizer):
                 v *= self.momentum
                 v += g
                 g = v
-            p.data -= self.lr * g
+            np.multiply(g, self.lr, out=s)
+            p.data -= s
 
 
 class Adam(Optimizer):
@@ -86,6 +133,7 @@ class Adam(Optimizer):
         self.weight_decay = weight_decay
         self._m: list[np.ndarray | None] = [None] * len(self.params)
         self._v: list[np.ndarray | None] = [None] * len(self.params)
+        self._scratch2: list[np.ndarray | None] = [None] * len(self.params)
 
     def step(self) -> None:
         self.step_count += 1
@@ -96,19 +144,32 @@ class Adam(Optimizer):
             if p.grad is None:
                 continue
             g = p.grad
+            s = self._scratch_for(i, p)
+            s2 = self._staging(self._scratch2, i, p)
             if self.weight_decay:
-                g = g + self.weight_decay * p.data
+                np.multiply(p.data, self.weight_decay, out=s)
+                g += s
             if self._m[i] is None:
                 self._m[i] = np.zeros_like(p.data)
                 self._v[i] = np.zeros_like(p.data)
             m, v = self._m[i], self._v[i]
+            # m = b1*m + (1-b1)*g ; v = b2*v + (1-b2)*g^2, all in place.
             m *= self.beta1
-            m += (1.0 - self.beta1) * g
+            np.multiply(g, 1.0 - self.beta1, out=s)
+            m += s
             v *= self.beta2
-            v += (1.0 - self.beta2) * (g * g)
-            m_hat = m / bc1
-            v_hat = v / bc2
-            p.data -= self.lr * m_hat / (np.sqrt(v_hat) + self.eps)
+            np.multiply(g, g, out=s)
+            s *= 1.0 - self.beta2
+            v += s
+            # p -= lr * (m/bc1) / (sqrt(v/bc2) + eps), staged in s/s2 with
+            # the exact operation order of the allocating formulation.
+            np.divide(m, bc1, out=s)
+            s *= self.lr
+            np.divide(v, bc2, out=s2)
+            np.sqrt(s2, out=s2)
+            s2 += self.eps
+            s /= s2
+            p.data -= s
 
     def state_nbytes(self) -> int:
         """Bytes held by moment buffers (used by the memory model)."""

@@ -46,6 +46,7 @@ class IndexDataset:
     train_end: int
     val_end: int
     allocations: list[Allocation] = field(default_factory=list)
+    _offsets: np.ndarray | None = field(default=None, repr=False, compare=False)
 
     # ------------------------------------------------------------------
     # Construction
@@ -54,6 +55,7 @@ class IndexDataset:
     def from_dataset(cls, dataset: SpatioTemporalDataset,
                      horizon: int | None = None, *,
                      dtype=np.float64,
+                     store_dtype=None,
                      ratios: tuple[float, float, float] = (0.7, 0.1, 0.2),
                      add_time_feature: bool | None = None,
                      space: MemorySpace | None = None) -> "IndexDataset":
@@ -62,6 +64,14 @@ class IndexDataset:
         The peak charge against ``space`` is raw + augmented + one
         standardization scratch copy — compare the standard pipeline, whose
         peak includes two full window stacks (``2 * horizon`` larger).
+
+        ``store_dtype`` downcasts the standardized array after fitting
+        (statistics and standardization still run in ``dtype``).  Passing
+        ``np.float32`` stores the data at training dtype, so batch
+        gathering feeds the model directly with no per-batch cast and the
+        resident copy halves; the stored values are exactly the old
+        float64-standardized values rounded once to float32, i.e. bitwise
+        what the loaders used to produce per batch.
         """
         h = dataset.spec.horizon if horizon is None else int(horizon)
         if add_time_feature is None:
@@ -104,6 +114,12 @@ class IndexDataset:
         scaler.transform(data, out=data)
         uncharge(scratch)
         uncharge(raw_alloc)
+
+        if store_dtype is not None and np.dtype(store_dtype) != data.dtype:
+            store = data.astype(store_dtype)
+            store_alloc = charge("store-cast", store.nbytes)
+            uncharge(aug_alloc)
+            data, aug_alloc = store, store_alloc
 
         allocations = [a for a in (aug_alloc, idx_alloc) if a is not None]
         for a in allocations:
@@ -154,18 +170,43 @@ class IndexDataset:
         return x, y
 
     def gather(self, starts: np.ndarray,
-               space: MemorySpace | None = None) -> tuple[np.ndarray, np.ndarray]:
+               space: MemorySpace | None = None,
+               out: np.ndarray | None = None) -> tuple[np.ndarray, np.ndarray]:
         """Assemble a batch ``[len(starts), horizon, nodes, features]``.
 
         This is the only copying step in index-batching; the copy is the
-        batch tensor itself.  When ``space`` is given, the batch bytes are
-        charged (and should be freed by the caller after the step).
+        batch tensor itself.  The ``x`` and ``y`` windows of one start
+        overlap end to end, so a single fancy-index of width
+        ``2 * horizon`` fills both and the returned pair are views of that
+        block.  When ``out`` (shape ``[len(starts), 2 * horizon, nodes,
+        features]``, data dtype) is given, the gather writes into it and
+        allocates nothing — loaders pass a persistent buffer here every
+        step.  When ``space`` is given, the batch bytes are charged (and
+        freed: the batch lives only for the step, so only peak counts).
         """
         starts = np.asarray(starts)
         h = self.horizon
-        offsets = np.arange(h)
-        x = self.data[starts[:, None] + offsets[None, :]]
-        y = self.data[starts[:, None] + h + offsets[None, :]]
+        if self._offsets is None or len(self._offsets) != 2 * h:
+            self._offsets = np.arange(2 * h)
+        idx = starts[:, None] + self._offsets[None, :]
+        if out is None:
+            block = self.data[idx]
+        else:
+            expected = (len(starts), 2 * h) + self.data.shape[1:]
+            if out.shape != expected or out.dtype != self.data.dtype:
+                raise ShapeError(
+                    f"gather out buffer must be {expected} {self.data.dtype}, "
+                    f"got {out.shape} {out.dtype}")
+            if len(starts) and (int(starts.min()) < 0 or
+                                int(starts.max()) + 2 * h > len(self.data)):
+                raise IndexError("gather starts out of range")
+            # mode="clip" skips np.take's internal bounce buffer; the
+            # bounds check above keeps out-of-range starts loud.
+            np.take(self.data, idx.reshape(-1), axis=0,
+                    out=out.reshape((-1,) + self.data.shape[1:]), mode="clip")
+            block = out
+        x = block[:, :h]
+        y = block[:, h:]
         if space is not None:
             alloc = space.allocate("batch", x.nbytes + y.nbytes)
             space.free(alloc)  # batch lives only for the step; charge peak

@@ -1,6 +1,7 @@
-"""Simulated clocks, timers and run reports."""
+"""Simulated clocks, timers, run reports, and the measured-perf harness."""
 
 from repro.profiling.clock import SimClock
 from repro.profiling.report import RunReport, format_table
 
 __all__ = ["SimClock", "RunReport", "format_table"]
+# repro.profiling.bench is imported lazily (it pulls in the api layer).

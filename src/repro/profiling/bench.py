@@ -1,0 +1,414 @@
+"""Measured performance snapshots: the ``BENCH_<n>.json`` harness.
+
+Unlike :mod:`repro.profiling.clock` (simulated time for the paper's cost
+models), this module measures *real* wall-clock performance of the hot
+paths — batch gathering, sparse propagation, optimizer steps, and a full
+fixed-seed tiny training run — and serialises them to a schema'd JSON
+snapshot.  Committing one snapshot per perf-relevant PR gives the repo a
+perf trajectory, and :func:`diff_benches` turns two snapshots into a
+ratio table so a regression (or a claimed speedup) is visible in review.
+
+Schema (``repro-bench/v1``)::
+
+    {
+      "schema": "repro-bench/v1",
+      "label": "...",                   # human note: what code state this is
+      "created": "2026-07-27T12:00:00", # wall time of collection
+      "platform": {"python": ..., "numpy": ..., "scipy": ...},
+      "micro": [                        # microbenchmarks of hot primitives
+        {"name": ..., "ops_per_sec": ..., "mean_seconds": ...,
+         "iterations": ..., "note": ...},
+        ...
+      ],
+      "training": {                     # fixed-seed tiny training runs
+        "<key>": {
+          "model": ..., "batching": ..., "optimizer": ..., "epochs": ...,
+          "steps": ..., "steps_per_sec": ..., "snapshots_per_sec": ...,
+          "seconds_total": ...,
+          "step_breakdown_seconds": {   # mean per-step phase times
+            "gather": ..., "forward": ..., "backward": ...,
+            "clip": ..., "optimizer": ...},
+          "peak_bytes": ...,            # MemorySpace peak during preprocessing
+          "resident_bytes": ...,        # loader-resident data bytes
+          "train_curve": [...],         # per-epoch mean losses (parity anchor)
+        }
+      }
+    }
+
+The fixed-seed ``train_curve`` doubles as a numerical-parity anchor: two
+snapshots taken on the same machine must agree on it to tight tolerance
+unless the PR deliberately changed training numerics (e.g. a documented
+float32 path), in which case the diff makes the drift explicit.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import re
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Callable
+
+import numpy as np
+
+SCHEMA = "repro-bench/v1"
+
+#: Tolerance used by :func:`diff_benches` to flag train-curve drift.
+PARITY_ATOL = 1e-6
+
+
+# ---------------------------------------------------------------------------
+# Timing core
+# ---------------------------------------------------------------------------
+def time_fn(fn: Callable[[], object], *, min_time: float = 0.2,
+            warmup: int = 3, max_iter: int = 100_000) -> tuple[float, int]:
+    """Measure mean seconds per call of ``fn`` (adaptive iteration count)."""
+    for _ in range(warmup):
+        fn()
+    iters = 0
+    total = 0.0
+    chunk = 1
+    while total < min_time and iters < max_iter:
+        t0 = time.perf_counter()
+        for _ in range(chunk):
+            fn()
+        total += time.perf_counter() - t0
+        iters += chunk
+        chunk = min(2 * chunk, max_iter - iters) or 1
+    return total / iters, iters
+
+
+@dataclass
+class MicroResult:
+    """One microbenchmark measurement."""
+
+    name: str
+    mean_seconds: float
+    iterations: int
+    note: str = ""
+
+    @property
+    def ops_per_sec(self) -> float:
+        return 1.0 / self.mean_seconds if self.mean_seconds > 0 else float("inf")
+
+    def to_dict(self) -> dict:
+        return {"name": self.name, "ops_per_sec": self.ops_per_sec,
+                "mean_seconds": self.mean_seconds,
+                "iterations": self.iterations, "note": self.note}
+
+
+# ---------------------------------------------------------------------------
+# Microbenchmarks
+# ---------------------------------------------------------------------------
+def micro_suite(*, quick: bool = False) -> list[MicroResult]:
+    """Hot-path primitives: gather, loader batch, sparse matmul, dconv,
+    backward, clip + Adam."""
+    from repro.autograd import Tensor, functional as F
+    from repro.batching.loaders import IndexBatchLoader
+    from repro.datasets import load_dataset
+    from repro.graph import dual_random_walk_supports
+    from repro.models.dconv import DiffusionConv
+    from repro.optim import Adam, clip_grad_norm
+    from repro.preprocessing import IndexDataset
+
+    min_time = 0.05 if quick else 0.25
+    results: list[MicroResult] = []
+
+    def add(name, fn, note=""):
+        mean, iters = time_fn(fn, min_time=min_time)
+        results.append(MicroResult(name, mean, iters, note))
+
+    # -- batch gathering ------------------------------------------------
+    ds = load_dataset("pems-bay", nodes=64, entries=3000, seed=0)
+    idx = IndexDataset.from_dataset(ds)
+    starts = idx.split_starts("train")[:64]
+    add("gather_batch64", lambda: idx.gather(starts),
+        "IndexDataset.gather of 64 windows, 64 nodes")
+
+    loader = IndexBatchLoader(idx, "train", 64)
+    sel = np.arange(64)
+    add("loader_batch64_f32", lambda: loader.batch_at(sel),
+        "IndexBatchLoader.batch_at incl. float32 conversion")
+
+    # -- sparse propagation --------------------------------------------
+    from repro.graph import random_sensor_network
+    g = random_sensor_network(512, seed=2)
+    support = dual_random_walk_supports(g.weights)[0]
+    x = Tensor(np.random.default_rng(0).standard_normal(
+        (32, 512, 64)).astype(np.float32))
+    add("sparse_matmul_512n", lambda: F.sparse_matmul(support, x),
+        "one diffusion hop, batch 32, 512 nodes, 64 channels")
+
+    # -- diffusion convolution forward + backward ----------------------
+    g2 = random_sensor_network(64, seed=3)
+    supports = dual_random_walk_supports(g2.weights)
+    conv = DiffusionConv(supports, 16, 16, k_hops=2)
+    xc = np.random.default_rng(1).standard_normal((32, 64, 16)).astype(np.float32)
+
+    def dconv_fwd_bwd():
+        xt = Tensor(xc, requires_grad=True)
+        out = conv(xt)
+        out.backward(np.ones_like(out.data))
+        return out
+
+    add("dconv_forward_backward", dconv_fwd_bwd,
+        "DiffusionConv fwd+bwd, batch 32, 64 nodes, 16->16, K=2")
+
+    # -- clip + Adam on DCRNN-sized parameters -------------------------
+    rng = np.random.default_rng(4)
+    from repro.nn.module import Parameter
+    params = [Parameter(rng.standard_normal(s).astype(np.float32))
+              for s in [(80, 16), (80, 16), (16,), (16,), (8256,), (64, 1)]]
+    grads = [rng.standard_normal(p.data.shape).astype(np.float32) * 10
+             for p in params]
+    opt = Adam(params, lr=1e-3)
+
+    def clip_and_step():
+        for p, gsrc in zip(params, grads):
+            if p.grad is None:
+                p.grad = gsrc.copy()
+            else:
+                np.copyto(p.grad, gsrc)
+        clip_grad_norm(params, 5.0)
+        opt.step()
+
+    add("clip_adam_step", clip_and_step,
+        "gradient clipping + Adam step over 6 parameter blocks")
+
+    return results
+
+
+# ---------------------------------------------------------------------------
+# Fixed-seed tiny training benchmark
+# ---------------------------------------------------------------------------
+def training_benchmark(*, model: str = "dcrnn", batching: str = "index",
+                       optimizer: str = "adam", epochs: int = 3,
+                       seed: int = 0, quick: bool = False) -> dict:
+    """Train tiny DCRNN with the exact :class:`Trainer` step semantics,
+    timing each phase of every optimizer step.
+
+    The loop mirrors ``Trainer.train_step`` statement for statement (same
+    sampler, same scheduled-sampling RNG consumption), so the recorded
+    ``train_curve`` is directly comparable with ``api.run`` output and
+    across snapshots.
+    """
+    from repro.api.registry import BATCHINGS, DATASETS, MODELS, OPTIMIZERS
+    from repro.api.builders import ModelContext
+    from repro.api.scales import get_scale
+    from repro.autograd.tensor import Tensor
+    from repro.batching.samplers import GlobalShuffleSampler
+    from repro.hardware.memory import MemorySpace
+    from repro.models.dcrnn import DCRNN
+    from repro.optim.losses import l1_loss
+    from repro.optim.optimizers import clip_grad_norm
+
+    if quick:
+        epochs = min(epochs, 1)
+    scale = get_scale("tiny")
+    ds = DATASETS.get("pems-bay")(nodes=scale.nodes, entries=scale.entries,
+                                  seed=seed)
+    horizon = scale.horizon or ds.spec.horizon
+    space = MemorySpace(f"bench:{batching}")
+    bundle = BATCHINGS.get(batching)(ds, horizon, scale.batch_size, space)
+    ctx = ModelContext(graph=ds.graph, horizon=horizon, in_features=2,
+                       hidden_dim=scale.hidden_dim, seed=seed)
+    net = MODELS.get(model)(ctx)
+    trainable = [p for p in net.parameters() if p.requires_grad]
+    opt = OPTIMIZERS.get(optimizer)(trainable, 0.01)
+    loader = bundle.train
+    sampler = GlobalShuffleSampler(loader.num_snapshots, loader.batch_size,
+                                   world_size=1, seed=seed)
+
+    is_dcrnn = isinstance(net, DCRNN)
+    phases = {"gather": 0.0, "forward": 0.0, "backward": 0.0,
+              "clip": 0.0, "optimizer": 0.0}
+    curve: list[float] = []
+    steps = 0
+    pc = time.perf_counter
+    net.train()
+    t_start = pc()
+    for epoch in range(epochs):
+        losses = []
+        for sel in sampler.epoch_plan(epoch)[0]:
+            if len(sel) < loader.batch_size:
+                continue
+            t0 = pc()
+            x, y = loader.batch_at(sel)
+            t1 = pc()
+            xt = Tensor(x)
+            target = y[..., :1]
+            if is_dcrnn:
+                pred = net(xt, targets=y)
+            else:
+                pred = net(xt)
+            loss = l1_loss(pred, target.astype(np.float32))
+            t2 = pc()
+            opt.zero_grad()
+            loss.backward()
+            t3 = pc()
+            clip_grad_norm(opt.params, 5.0)
+            t4 = pc()
+            opt.step()
+            t5 = pc()
+            phases["gather"] += t1 - t0
+            phases["forward"] += t2 - t1
+            phases["backward"] += t3 - t2
+            phases["clip"] += t4 - t3
+            phases["optimizer"] += t5 - t4
+            losses.append(float(loss.item()))
+            steps += 1
+        curve.append(float(np.mean(losses)) if losses else float("nan"))
+    seconds_total = pc() - t_start
+
+    resident = 0
+    inner = getattr(loader, "ds", None)
+    if inner is not None:
+        resident = int(inner.resident_nbytes)
+    return {
+        "model": model, "batching": batching, "optimizer": optimizer,
+        "scale": "tiny", "seed": seed, "epochs": epochs, "steps": steps,
+        "steps_per_sec": steps / seconds_total if seconds_total else 0.0,
+        "snapshots_per_sec": (steps * loader.batch_size / seconds_total
+                              if seconds_total else 0.0),
+        "seconds_total": seconds_total,
+        "step_breakdown_seconds": {k: v / max(steps, 1)
+                                   for k, v in phases.items()},
+        "peak_bytes": int(space.peak),
+        "resident_bytes": resident,
+        "num_parameters": int(net.num_parameters()),
+        "train_curve": curve,
+    }
+
+
+# ---------------------------------------------------------------------------
+# Snapshot collection / IO
+# ---------------------------------------------------------------------------
+def collect(*, quick: bool = False, label: str = "") -> dict:
+    """Run the full suite and assemble a schema'd snapshot dict."""
+    import scipy
+
+    micro = micro_suite(quick=quick)
+    training = {
+        "dcrnn_index_adam": training_benchmark(batching="index", quick=quick),
+        "dcrnn_base_adam": training_benchmark(batching="base", quick=quick),
+    }
+    return {
+        "schema": SCHEMA,
+        "label": label,
+        "created": time.strftime("%Y-%m-%dT%H:%M:%S"),
+        "platform": {
+            "python": platform.python_version(),
+            "numpy": np.__version__,
+            "scipy": scipy.__version__,
+            "machine": platform.machine(),
+        },
+        "micro": [m.to_dict() for m in micro],
+        "training": training,
+    }
+
+
+def validate_snapshot(data: dict) -> None:
+    """Raise ``ValueError`` if ``data`` is not a valid v1 snapshot."""
+    if not isinstance(data, dict) or data.get("schema") != SCHEMA:
+        raise ValueError(f"not a {SCHEMA} snapshot")
+    for key in ("created", "platform", "micro", "training"):
+        if key not in data:
+            raise ValueError(f"snapshot missing {key!r}")
+    for m in data["micro"]:
+        for field in ("name", "ops_per_sec", "mean_seconds"):
+            if field not in m:
+                raise ValueError(f"micro entry missing {field!r}: {m}")
+    for key, t in data["training"].items():
+        for field in ("steps_per_sec", "step_breakdown_seconds",
+                      "peak_bytes", "train_curve"):
+            if field not in t:
+                raise ValueError(f"training entry {key!r} missing {field!r}")
+
+
+def write_snapshot(data: dict, path: str | Path) -> Path:
+    validate_snapshot(data)
+    path = Path(path)
+    path.write_text(json.dumps(data, indent=2, sort_keys=False) + "\n")
+    return path
+
+
+def load_snapshot(path: str | Path) -> dict:
+    data = json.loads(Path(path).read_text())
+    validate_snapshot(data)
+    return data
+
+
+def next_bench_path(root: str | Path = ".") -> Path:
+    """First unused ``BENCH_<n>.json`` path under ``root``."""
+    root = Path(root)
+    taken = set()
+    for p in root.glob("BENCH_*.json"):
+        m = re.fullmatch(r"BENCH_(\d+)\.json", p.name)
+        if m:
+            taken.add(int(m.group(1)))
+    n = 1
+    while n in taken:
+        n += 1
+    return root / f"BENCH_{n}.json"
+
+
+# ---------------------------------------------------------------------------
+# Diffing
+# ---------------------------------------------------------------------------
+def diff_benches(old: dict, new: dict) -> dict:
+    """Structured comparison: per-metric ``(old, new, ratio)`` triples.
+
+    ``ratio > 1`` means *new is faster* (for throughput metrics) or *new
+    uses less memory* (for byte metrics).  Train curves are compared for
+    parity drift at :data:`PARITY_ATOL`.
+    """
+    validate_snapshot(old)
+    validate_snapshot(new)
+    micro_old = {m["name"]: m for m in old["micro"]}
+    micro_new = {m["name"]: m for m in new["micro"]}
+    micro = {}
+    for name in sorted(set(micro_old) & set(micro_new)):
+        o, n = micro_old[name]["ops_per_sec"], micro_new[name]["ops_per_sec"]
+        micro[name] = {"old_ops_per_sec": o, "new_ops_per_sec": n,
+                       "speedup": n / o if o else float("inf")}
+    training = {}
+    for key in sorted(set(old["training"]) & set(new["training"])):
+        o, n = old["training"][key], new["training"][key]
+        entry = {
+            "old_steps_per_sec": o["steps_per_sec"],
+            "new_steps_per_sec": n["steps_per_sec"],
+            "speedup": (n["steps_per_sec"] / o["steps_per_sec"]
+                        if o["steps_per_sec"] else float("inf")),
+            "old_peak_bytes": o["peak_bytes"],
+            "new_peak_bytes": n["peak_bytes"],
+            "memory_ratio": (o["peak_bytes"] / n["peak_bytes"]
+                             if n["peak_bytes"] else float("inf")),
+        }
+        co, cn = o["train_curve"], n["train_curve"]
+        shared = min(len(co), len(cn))
+        drift = (max(abs(a - b) for a, b in zip(co[:shared], cn[:shared]))
+                 if shared else float("nan"))
+        entry["train_curve_max_drift"] = drift
+        entry["parity"] = bool(shared and drift <= PARITY_ATOL)
+        training[key] = entry
+    return {"micro": micro, "training": training}
+
+
+def format_diff(diff: dict) -> str:
+    """Render :func:`diff_benches` output as an aligned text table."""
+    lines = ["== micro (ops/sec) =="]
+    width = max([len(n) for n in diff["micro"]] or [4])
+    for name, d in diff["micro"].items():
+        lines.append(f"  {name:<{width}}  {d['old_ops_per_sec']:>12.1f} -> "
+                     f"{d['new_ops_per_sec']:>12.1f}   x{d['speedup']:.2f}")
+    lines.append("== training ==")
+    for key, d in diff["training"].items():
+        parity = ("parity OK" if d["parity"] else
+                  f"curve drift {d['train_curve_max_drift']:.2e}")
+        lines.append(
+            f"  {key}: {d['old_steps_per_sec']:.1f} -> "
+            f"{d['new_steps_per_sec']:.1f} steps/s  x{d['speedup']:.2f}   "
+            f"peak {d['old_peak_bytes']} -> {d['new_peak_bytes']} B   {parity}")
+    return "\n".join(lines)

@@ -58,7 +58,11 @@ def evaluate_by_horizon(model: STModel, loader, scaler: StandardScaler | None
             t = y[..., 0]
             if scaler is not None:
                 p = scaler.inverse_transform_channel(p, 0)
-                t = scaler.inverse_transform_channel(t, 0)
+                t = scaler.inverse_transform_channel(t, 0)  # fresh array
+            else:
+                # y is (a view of) the loader's reusable batch buffer and
+                # gets overwritten next iteration; keep an owned copy.
+                t = t.copy()
             preds.append(p)
             truths.append(t)
     if not preds:

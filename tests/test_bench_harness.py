@@ -1,0 +1,108 @@
+"""Smoke tests for the measured-perf snapshot harness (BENCH_<n>.json).
+
+Exercises the quick path of ``python -m benchmarks.run_bench`` end to end
+— collection, schema validation, JSON round-trip, and the snapshot differ
+— so the instrument future PRs rely on for their perf deltas cannot rot.
+"""
+
+import json
+import sys
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.profiling.bench import (
+    PARITY_ATOL,
+    diff_benches,
+    format_diff,
+    load_snapshot,
+    next_bench_path,
+    training_benchmark,
+    validate_snapshot,
+    write_snapshot,
+)
+
+sys.path.insert(0, str(Path(__file__).resolve().parents[1]))
+from benchmarks.run_bench import main as run_bench_main  # noqa: E402
+
+
+@pytest.fixture(scope="module")
+def snapshot_path(tmp_path_factory):
+    """One quick CLI run shared by the module's tests."""
+    out = tmp_path_factory.mktemp("bench") / "bench.json"
+    rc = run_bench_main(["--quick", "--out", str(out), "--label", "smoke"])
+    assert rc == 0
+    return out
+
+
+class TestSnapshotCLI:
+    def test_writes_valid_schema(self, snapshot_path):
+        data = load_snapshot(snapshot_path)   # raises if invalid
+        assert data["label"] == "smoke"
+        assert {m["name"] for m in data["micro"]} >= {
+            "gather_batch64", "loader_batch64_f32", "clip_adam_step"}
+        train = data["training"]["dcrnn_index_adam"]
+        assert train["steps_per_sec"] > 0
+        assert train["peak_bytes"] > 0
+        assert set(train["step_breakdown_seconds"]) == {
+            "gather", "forward", "backward", "clip", "optimizer"}
+        assert len(train["train_curve"]) == train["epochs"]
+
+    def test_diff_against_self_is_parity(self, snapshot_path):
+        data = load_snapshot(snapshot_path)
+        d = diff_benches(data, data)
+        for entry in d["training"].values():
+            assert entry["speedup"] == pytest.approx(1.0)
+            assert entry["parity"] is True
+            assert entry["train_curve_max_drift"] <= PARITY_ATOL
+        text = format_diff(d)
+        assert "dcrnn_index_adam" in text and "x1.00" in text
+
+    def test_diff_cli_and_regression_gate(self, snapshot_path, capsys):
+        rc = run_bench_main(["--diff", str(snapshot_path), str(snapshot_path)])
+        assert rc == 0
+        assert "training" in capsys.readouterr().out
+        # A self-diff has speedup 1.0 < 2.0: the regression gate must trip.
+        rc = run_bench_main(["--diff", str(snapshot_path), str(snapshot_path),
+                             "--fail-on-regression", "2.0"])
+        assert rc == 1
+
+    def test_validate_rejects_junk(self, tmp_path):
+        with pytest.raises(ValueError):
+            validate_snapshot({"schema": "nope"})
+        bad = {"schema": "repro-bench/v1", "created": "x", "platform": {},
+               "micro": [{"name": "a"}], "training": {}}
+        with pytest.raises(ValueError):
+            validate_snapshot(bad)
+        with pytest.raises(ValueError):
+            write_snapshot({"schema": "nope"}, tmp_path / "x.json")
+
+    def test_next_bench_path_skips_taken(self, tmp_path):
+        assert next_bench_path(tmp_path).name == "BENCH_1.json"
+        (tmp_path / "BENCH_1.json").write_text("{}")
+        (tmp_path / "BENCH_3.json").write_text("{}")
+        assert next_bench_path(tmp_path).name == "BENCH_2.json"
+
+
+class TestTrainingBenchmarkParity:
+    def test_matches_api_run_losses(self):
+        """The bench loop mirrors Trainer.train_step exactly: its fixed-seed
+        losses must equal what api.run records for the same spec."""
+        from repro.api import RunSpec, run
+
+        bench = training_benchmark(batching="index", epochs=1, seed=3)
+        res = run(RunSpec(model="dcrnn", dataset="pems-bay", batching="index",
+                          optimizer="adam", epochs=1, seed=3))
+        np.testing.assert_allclose(bench["train_curve"], res.train_curve,
+                                   rtol=0, atol=1e-9)
+
+
+class TestCommittedSnapshots:
+    def test_repo_snapshots_are_valid(self):
+        """Any BENCH_<n>.json committed at the repo root must parse."""
+        root = Path(__file__).resolve().parents[1]
+        found = sorted(root.glob("BENCH_*.json"))
+        assert found, "expected at least one committed BENCH_<n>.json"
+        for path in found:
+            validate_snapshot(json.loads(path.read_text()))

@@ -1,0 +1,390 @@
+"""Parity and buffer-reuse tests for the allocation-free training hot path.
+
+Three guarantees are pinned here:
+
+1. **Numerical parity** — the fused kernels (DiffusionConv, gru_update),
+   the in-place optimizers and the buffer-reusing loaders compute the same
+   values as their naive/allocating reference formulations, and standard
+   vs index batching produce identical fixed-seed training curves.
+2. **Buffer identity** — loader batches, parameter gradients and optimizer
+   scratch really are the *same arrays* step after step (``a is b``), so
+   the steady-state loop is allocation-free by construction, not by luck.
+3. **Gradient-pool hygiene** — interior gradients recycle through
+   ``GRAD_POOL`` without corrupting results.
+"""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.autograd import GRAD_POOL, Tensor, functional as F
+from repro.batching.loaders import IndexBatchLoader, StandardBatchLoader
+from repro.datasets import load_dataset
+from repro.graph import dual_random_walk_supports, random_sensor_network
+from repro.models.dconv import DiffusionConv
+from repro.nn.module import Parameter
+from repro.optim import SGD, Adam, clip_grad_norm
+from repro.preprocessing import IndexDataset, standard_preprocess
+
+
+# ---------------------------------------------------------------------------
+# Fused kernels vs naive reference
+# ---------------------------------------------------------------------------
+class TestDiffusionConvFused:
+    @pytest.fixture(scope="class")
+    def supports(self):
+        g = random_sensor_network(12, seed=2)
+        return dual_random_walk_supports(g.weights)
+
+    @pytest.mark.parametrize("dtype,tol", [(np.float32, 1e-5),
+                                           (np.float64, 1e-12)])
+    @pytest.mark.parametrize("k_hops", [0, 1, 2, 3])
+    def test_matches_naive(self, supports, dtype, tol, k_hops):
+        fused = DiffusionConv(supports, 5, 7, k_hops=k_hops, fused=True)
+        naive = DiffusionConv(supports, 5, 7, k_hops=k_hops, fused=False)
+        x = np.random.default_rng(0).standard_normal((4, 12, 5)).astype(dtype)
+        xf = Tensor(x.copy(), requires_grad=True)
+        xn = Tensor(x.copy(), requires_grad=True)
+        of, on = fused(xf), naive(xn)
+        np.testing.assert_allclose(of.data, on.data, atol=tol)
+        g = np.random.default_rng(1).standard_normal(of.shape).astype(dtype)
+        of.backward(g.copy())
+        on.backward(g.copy())
+        np.testing.assert_allclose(xf.grad, xn.grad, atol=tol)
+        # Parameter grads are float32 regardless of compute dtype.
+        np.testing.assert_allclose(fused.weight.grad, naive.weight.grad,
+                                   rtol=1e-4, atol=1e-4)
+        np.testing.assert_allclose(fused.bias.grad, naive.bias.grad,
+                                   rtol=1e-4, atol=1e-4)
+
+    def test_scratch_reused_across_calls(self, supports):
+        conv = DiffusionConv(supports, 5, 7, k_hops=2, fused=True)
+        x = Tensor(np.random.default_rng(0).standard_normal(
+            (4, 12, 5)).astype(np.float32), requires_grad=True)
+        conv(x).backward(np.ones((4, 12, 7), np.float32))
+        scr1 = conv._scratch[(4, np.dtype(np.float32).str)]
+        g1 = x.grad.copy()
+        x.grad = None
+        conv(x).backward(np.ones((4, 12, 7), np.float32))
+        scr2 = conv._scratch[(4, np.dtype(np.float32).str)]
+        assert scr1 is scr2                     # persistent scratch object
+        assert scr1.x0 is scr2.x0               # and its buffers
+        np.testing.assert_allclose(x.grad, g1, rtol=1e-6)
+
+    def test_grad_accumulates_over_calls(self, supports):
+        conv = DiffusionConv(supports, 3, 4, k_hops=2, fused=True)
+        x = Tensor(np.random.default_rng(5).standard_normal(
+            (2, 12, 3)).astype(np.float32), requires_grad=True)
+        g = np.ones((2, 12, 4), np.float32)
+        conv(x).backward(g)
+        once = x.grad.copy()
+        conv(x).backward(g)
+        np.testing.assert_allclose(x.grad, 2 * once, rtol=1e-5)
+
+
+class TestGRUUpdateFused:
+    def test_bitwise_matches_composition(self):
+        rng = np.random.default_rng(3)
+        shape = (3, 4, 5)
+        vals = [rng.standard_normal(shape).astype(np.float32)
+                for _ in range(3)]
+        a = [Tensor(v.copy(), requires_grad=True) for v in vals]
+        b = [Tensor(v.copy(), requires_grad=True) for v in vals]
+        out_fused = F.gru_update(a[0], a[1], a[2])
+        u, h, c = b
+        out_naive = u * h + (1.0 - u) * c
+        np.testing.assert_array_equal(out_fused.data, out_naive.data)
+        g = rng.standard_normal(shape).astype(np.float32)
+        out_fused.backward(g.copy())
+        out_naive.backward(g.copy())
+        for ta, tb in zip(a, b):
+            np.testing.assert_array_equal(ta.grad, tb.grad)
+
+
+# ---------------------------------------------------------------------------
+# Loader buffer reuse + loader parity
+# ---------------------------------------------------------------------------
+class TestLoaderBuffers:
+    @pytest.fixture(scope="class")
+    def data(self):
+        ds = load_dataset("pems-bay", nodes=6, entries=150, seed=1)
+        return (standard_preprocess(ds),
+                IndexDataset.from_dataset(ds, store_dtype=np.float32))
+
+    def test_index_loader_returns_same_views(self, data):
+        _, idx = data
+        loader = IndexBatchLoader(idx, "train", 8)
+        x1, y1 = loader.batch_at(np.arange(8))
+        x2, y2 = loader.batch_at(np.arange(8, 16))
+        assert x1 is x2 and y1 is y2            # same view objects
+        assert x1.base is loader._block or x1.base.base is loader._block
+
+    def test_index_loader_buffer_contents_refresh(self, data):
+        _, idx = data
+        loader = IndexBatchLoader(idx, "train", 4)
+        fresh = IndexBatchLoader(idx, "train", 4, reuse_buffers=False)
+        for sel in (np.arange(4), np.array([9, 2, 11, 5])):
+            xb, yb = loader.batch_at(sel)
+            xo, yo = fresh.batch_at(sel)
+            np.testing.assert_array_equal(xb, xo)
+            np.testing.assert_array_equal(yb, yo)
+
+    def test_standard_loader_returns_same_buffers(self, data):
+        std, _ = data
+        loader = StandardBatchLoader(std, "train", 8)
+        x1, _ = loader.batch_at(np.arange(8))
+        x2, _ = loader.batch_at(np.arange(8, 16))
+        assert x1 is x2
+
+    def test_standard_loader_rejects_out_of_range(self, data):
+        """The buffered np.take path must stay as loud as fancy indexing."""
+        std, _ = data
+        loader = StandardBatchLoader(std, "train", 4)
+        n = loader.num_snapshots
+        with pytest.raises(IndexError):
+            loader.batch_at(np.array([0, 1, n + 50, 2]))
+        # Negative indices keep standard NumPy meaning.
+        xb, _ = loader.batch_at(np.array([0, 1, 2, -1]))
+        np.testing.assert_array_equal(xb[3], loader.x[n - 1])
+
+    def test_odd_sized_requests_get_owned_arrays(self, data):
+        _, idx = data
+        loader = IndexBatchLoader(idx, "train", 8)
+        x1, _ = loader.batch_at(np.arange(3))   # DDP-style microbatch
+        x2, _ = loader.batch_at(np.arange(3))
+        assert x1 is not x2
+
+    def test_reuse_off_gets_owned_arrays(self, data):
+        _, idx = data
+        loader = IndexBatchLoader(idx, "train", 8, reuse_buffers=False)
+        x1, _ = loader.batch_at(np.arange(8))
+        x2, _ = loader.batch_at(np.arange(8))
+        assert x1 is not x2
+
+    def test_standard_and_index_loaders_bitwise_agree(self, data):
+        std, idx = data
+        sl = StandardBatchLoader(std, "train", 8)
+        il = IndexBatchLoader(idx, "train", 8)
+        for (xs, ys), (xi, yi) in zip(sl.batches(), il.batches()):
+            np.testing.assert_array_equal(xs, xi)
+            np.testing.assert_array_equal(ys, yi)
+
+    def test_float32_store_matches_per_batch_cast(self):
+        """data stored at float32 == float64-standardized cast per batch."""
+        ds = load_dataset("pems-bay", nodes=6, entries=150, seed=1)
+        f64 = IndexDataset.from_dataset(ds)
+        f32 = IndexDataset.from_dataset(ds, store_dtype=np.float32)
+        l64 = IndexBatchLoader(f64, "train", 8)   # casts per batch
+        l32 = IndexBatchLoader(f32, "train", 8)   # gathers pre-cast data
+        x64, y64 = l64.batch_at(np.arange(8))
+        x32, y32 = l32.batch_at(np.arange(8))
+        np.testing.assert_array_equal(x64, x32)
+        np.testing.assert_array_equal(y64, y32)
+
+    def test_gather_out_buffer(self, data):
+        _, idx = data
+        h = idx.horizon
+        out = np.empty((4, 2 * h) + idx.data.shape[1:], idx.data.dtype)
+        x, y = idx.gather(idx.starts[:4], out=out)
+        assert x.base is out and y.base is out
+        xr, yr = idx.gather(idx.starts[:4])
+        np.testing.assert_array_equal(x, xr)
+        np.testing.assert_array_equal(y, yr)
+
+    def test_gather_out_bounds_checked(self, data):
+        _, idx = data
+        h = idx.horizon
+        out = np.empty((1, 2 * h) + idx.data.shape[1:], idx.data.dtype)
+        with pytest.raises(IndexError):
+            idx.gather(np.array([len(idx.data)]), out=out)
+
+
+# ---------------------------------------------------------------------------
+# Gradient buffers: zero_grad identity + pool recycling
+# ---------------------------------------------------------------------------
+class TestGradientBuffers:
+    def _loss(self, p):
+        return (p * p).sum()
+
+    def test_zero_grad_keeps_buffer_identity(self):
+        p = Parameter(np.array([1.0, 2.0], dtype=np.float32))
+        opt = SGD([p], lr=0.1)
+        self._loss(p).backward()
+        buf = p.grad
+        assert buf is not None
+        opt.zero_grad(set_to_none=False)
+        assert p.grad is buf                    # zeroed in place
+        np.testing.assert_array_equal(buf, 0.0)
+        self._loss(p).backward()
+        assert p.grad is buf                    # backward reused it
+
+    def test_zero_grad_set_to_none(self):
+        p = Parameter(np.array([1.0], dtype=np.float32))
+        opt = SGD([p], lr=0.1)
+        self._loss(p).backward()
+        opt.zero_grad(set_to_none=True)
+        assert p.grad is None
+
+    def test_param_grad_buffer_stable_across_steps(self):
+        p = Parameter(np.array([5.0, -3.0], dtype=np.float32))
+        opt = Adam([p], lr=0.1)
+        bufs = set()
+        for _ in range(4):
+            opt.zero_grad()
+            self._loss(p).backward()
+            bufs.add(id(p.grad))
+            opt.step()
+        assert len(bufs) == 1                   # one buffer, forever
+
+    def test_pool_recycles_interior_grads(self):
+        GRAD_POOL.clear()
+        x = Tensor(np.ones((7, 3), np.float32), requires_grad=True)
+        ((x * 2.0).tanh().sum()).backward()
+        assert len(GRAD_POOL) > 0               # interior grads parked
+        g1 = x.grad.copy()
+        x.grad = None
+        ((x * 2.0).tanh().sum()).backward()     # drawn from the pool
+        np.testing.assert_array_equal(x.grad, g1)
+
+    def test_pool_ignores_views(self):
+        GRAD_POOL.clear()
+        arr = np.zeros((4, 4), np.float32)
+        GRAD_POOL.give(arr[:2])                 # view: must be rejected
+        assert len(GRAD_POOL) == 0
+
+
+# ---------------------------------------------------------------------------
+# In-place optimizers vs allocating reference implementations
+# ---------------------------------------------------------------------------
+def _reference_clip(grads, max_norm):
+    """The seed implementation: float64 copies of every gradient."""
+    total = 0.0
+    for g in grads:
+        total += float(np.sum(g.astype(np.float64) ** 2))
+    norm = math.sqrt(total)
+    if norm > max_norm and norm > 0:
+        for g in grads:
+            g *= max_norm / norm
+    return norm
+
+
+def _reference_adam_step(p, g, m, v, t, lr=1e-3, b1=0.9, b2=0.999, eps=1e-8):
+    m[:] = b1 * m + (1 - b1) * g
+    v[:] = b2 * v + (1 - b2) * (g * g)
+    m_hat = m / (1 - b1 ** t)
+    v_hat = v / (1 - b2 ** t)
+    p -= lr * m_hat / (np.sqrt(v_hat) + eps)
+
+
+class TestOptimizerParity:
+    def test_clip_matches_reference(self):
+        rng = np.random.default_rng(0)
+        shapes = [(40, 16), (16,), (8256,)]
+        fast = [Parameter(np.zeros(s, np.float32)) for s in shapes]
+        for p in fast:
+            p.grad = rng.standard_normal(p.data.shape).astype(np.float32) * 3
+        ref_grads = [p.grad.copy() for p in fast]
+        norm_fast = clip_grad_norm(fast, 5.0)
+        norm_ref = _reference_clip(ref_grads, 5.0)
+        assert norm_fast == pytest.approx(norm_ref, rel=1e-5)
+        for p, rg in zip(fast, ref_grads):
+            np.testing.assert_allclose(p.grad, rg, rtol=1e-5)
+
+    def test_clip_survives_float32_overflow(self):
+        """Exploding f32 gradients must be scaled to max_norm, not zeroed
+        by an overflowing float32 dot product."""
+        p = Parameter(np.zeros(1024, np.float32))
+        p.grad = np.full(1024, 1e20, dtype=np.float32)
+        with np.errstate(over="ignore"):
+            norm = clip_grad_norm([p], 5.0)
+        assert math.isfinite(norm) and norm == pytest.approx(32e20, rel=1e-6)
+        assert np.linalg.norm(p.grad.astype(np.float64)) == pytest.approx(
+            5.0, rel=1e-5)
+
+    def test_clip_no_copies_returns_norm(self):
+        p = Parameter(np.zeros(4))
+        p.grad = np.ones(4, dtype=np.float32) * 10.0
+        buf = p.grad
+        clip_grad_norm([p], 5.0)
+        assert p.grad is buf                    # scaled in place
+
+    def test_adam_matches_reference_trajectory(self):
+        rng = np.random.default_rng(1)
+        p = Parameter(rng.standard_normal(64).astype(np.float32))
+        ref_p = p.data.copy()
+        m = np.zeros_like(ref_p)
+        v = np.zeros_like(ref_p)
+        opt = Adam([p], lr=1e-2)
+        for t in range(1, 21):
+            g = rng.standard_normal(64).astype(np.float32)
+            p.grad = g.copy()
+            opt.step()
+            _reference_adam_step(ref_p, g, m, v, t, lr=1e-2)
+        np.testing.assert_allclose(p.data, ref_p, rtol=1e-6, atol=1e-7)
+
+    def test_sgd_matches_reference_trajectory(self):
+        rng = np.random.default_rng(2)
+        p = Parameter(rng.standard_normal(32).astype(np.float32))
+        ref_p = p.data.copy()
+        vel = np.zeros_like(ref_p)
+        opt = SGD([p], lr=0.05, momentum=0.9, weight_decay=0.01)
+        for _ in range(20):
+            g = rng.standard_normal(32).astype(np.float32)
+            p.grad = g.copy()
+            opt.step()
+            gr = g + 0.01 * ref_p
+            vel[:] = 0.9 * vel + gr
+            ref_p -= 0.05 * vel
+        np.testing.assert_allclose(p.data, ref_p, rtol=1e-5, atol=1e-6)
+
+    def test_adam_scratch_is_persistent(self):
+        p = Parameter(np.ones(8, np.float32))
+        opt = Adam([p], lr=0.1)
+        p.grad = np.ones(8, np.float32)
+        opt.step()
+        s1 = opt._scratch[0]
+        p.grad = np.ones(8, np.float32)
+        opt.step()
+        assert opt._scratch[0] is s1
+
+
+# ---------------------------------------------------------------------------
+# Consumers that collect batches must not alias the reused buffers
+# ---------------------------------------------------------------------------
+class TestEvaluationBufferSafety:
+    def test_evaluate_by_horizon_without_scaler(self):
+        """Collected truths must be owned copies, not views of the loader
+        buffer (which the next iteration overwrites)."""
+        from repro.nn.module import Module
+        from repro.training.evaluation import evaluate_by_horizon
+
+        class Echo(Module):
+            def forward(self, x):
+                return Tensor(x.data[..., :1] * 0.9)
+
+        ds = load_dataset("pems-bay", nodes=6, entries=150, seed=1)
+        idx = IndexDataset.from_dataset(ds, store_dtype=np.float32)
+        reused = IndexBatchLoader(idx, "val", 4)
+        owned = IndexBatchLoader(idx, "val", 4, reuse_buffers=False)
+        m_reused = evaluate_by_horizon(Echo(), reused)
+        m_owned = evaluate_by_horizon(Echo(), owned)
+        np.testing.assert_allclose(m_reused.mae, m_owned.mae, rtol=1e-6)
+
+
+# ---------------------------------------------------------------------------
+# End-to-end fixed-seed parity: standard vs index, SGD and Adam
+# ---------------------------------------------------------------------------
+class TestEndToEndParity:
+    @pytest.mark.parametrize("optimizer", ["adam", "sgd"])
+    def test_standard_vs_index_training_curves(self, optimizer):
+        from repro.api import RunSpec, run
+
+        curves = {}
+        for batching in ("base", "index"):
+            spec = RunSpec(model="dcrnn", dataset="pems-bay",
+                           batching=batching, optimizer=optimizer,
+                           epochs=2, seed=0)
+            curves[batching] = run(spec).train_curve
+        np.testing.assert_allclose(curves["base"], curves["index"],
+                                   rtol=0, atol=1e-7)

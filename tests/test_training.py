@@ -169,11 +169,16 @@ class TestDDPTrainer:
 
     def test_evaluate_partition_invariant(self, tiny_setup):
         """Val MAE must not depend on how ranks partition the split, even
-        when the world is so large that some ranks get no snapshots."""
+        when the world is so large that some ranks get no snapshots.
+
+        Tolerance is float32-level: the model computes end-to-end in the
+        input dtype now, and BLAS reduction order across different batch
+        shapes differs at f32 epsilon.
+        """
         values = {w: self._trainer(tiny_setup, world=w).evaluate()
                   for w in (1, 4, 32)}  # val split has ~21 snapshots < 32
-        assert values[1] == pytest.approx(values[4], rel=1e-9)
-        assert values[1] == pytest.approx(values[32], rel=1e-9)
+        assert values[1] == pytest.approx(values[4], rel=1e-5)
+        assert values[1] == pytest.approx(values[32], rel=1e-5)
 
     def test_world1_matches_semantics(self, tiny_setup):
         tr = self._trainer(tiny_setup, world=1)
