@@ -3,7 +3,7 @@
 
 PY := PYTHONPATH=src python
 
-.PHONY: test bench bench-quick bench-diff
+.PHONY: test bench bench-quick bench-diff serve-bench serve-bench-quick serve-bench-diff
 
 test:                       ## tier-1: full unit + benchmark-shape suite
 	$(PY) -m pytest -x -q
@@ -17,3 +17,13 @@ bench-quick:                ## CI smoke: short timing windows, 1 epoch
 # usage: make bench-diff OLD=BENCH_1.json NEW=BENCH_2.json
 bench-diff:
 	$(PY) -m benchmarks.run_bench --diff $(OLD) $(NEW)
+
+serve-bench:                ## merge a serving section into the newest BENCH_<n>.json
+	$(PY) -m benchmarks.serve_bench $(if $(OUT),--out $(OUT))
+
+serve-bench-quick:          ## CI smoke: tiny serving suite to /tmp
+	$(PY) -m benchmarks.serve_bench --quick --out /tmp/bench-serve.json
+
+# usage: make serve-bench-diff OLD=BENCH_3.json NEW=BENCH_4.json
+serve-bench-diff:
+	$(PY) -m benchmarks.serve_bench --diff $(OLD) $(NEW)

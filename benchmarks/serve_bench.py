@@ -1,0 +1,242 @@
+"""Serving benchmark: measured QPS + latency percentiles for BENCH JSONs.
+
+Runs a fixed-seed scenario suite against a freshly trained tiny model and
+merges the results as a ``"serving"`` section into a ``BENCH_<n>.json``
+snapshot (see ``benchmarks/README.md`` for the schema)::
+
+    # merge into the newest existing snapshot (or create BENCH_1.json)
+    python -m benchmarks.serve_bench
+
+    # explicit target / CI smoke mode
+    python -m benchmarks.serve_bench --out BENCH_3.json
+    python -m benchmarks.serve_bench --quick --out /tmp/serve.json
+
+    # compare the serving sections of two snapshots
+    python -m benchmarks.serve_bench --diff BENCH_3.json BENCH_4.json
+
+Latency numbers are honest wall-clock measurements of the model forward
+(simulated time only stitches the request schedule together); arrival
+schedules and window choices are fixed-seeded, so two runs on one machine
+batch identically and differ only by timer noise.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import re
+import time
+from pathlib import Path
+
+import numpy as np
+
+SERVING_SCHEMA = "repro-serve/v1"
+
+#: Fixed request-stream seed — part of the benchmark definition.
+SEED = 0
+
+
+def _scenario_dict(report, extra: dict | None = None) -> dict:
+    d = report.to_dict()
+    if extra:
+        d.update(extra)
+    return d
+
+
+def collect_serving(*, quick: bool = False, label: str = "") -> dict:
+    """Measure the serving scenario suite; returns the section dict."""
+    from repro.api import RunSpec, run, serve
+    from repro.serving import LoadGenerator
+
+    spec = RunSpec(dataset="pems-bay", model="pgt-dcrnn", batching="index",
+                   scale="tiny", seed=SEED, epochs=1 if quick else 2)
+    result = run(spec)
+    test = result.artifacts.loaders.test
+    pool = test.batch_at(np.arange(test.num_snapshots
+                                   if test.num_snapshots < 64 else 64))[0].copy()
+
+    n_closed = 60 if quick else 600
+    n_open = 40 if quick else 400
+    max_batch, max_wait = 8, 0.002
+    scenarios: dict[str, dict] = {}
+
+    # Batch-of-1 reference: no coalescing delay, one request in flight.
+    svc = serve(result, max_batch=max_batch, max_wait=0.0)
+    gen = LoadGenerator(svc, pool, seed=SEED)
+    scenarios["single_stream"] = _scenario_dict(
+        gen.closed_loop(requests=n_closed // 2, concurrency=1,
+                        scenario="single_stream"))
+
+    # Micro-batched closed loop: 8 clients keep the batcher saturated.
+    svc = serve(result, max_batch=max_batch, max_wait=max_wait)
+    gen = LoadGenerator(svc, pool, seed=SEED)
+    scenarios["closed_loop_c8"] = _scenario_dict(
+        gen.closed_loop(requests=n_closed, concurrency=8,
+                        scenario="closed_loop_c8"))
+
+    # Open loop at a fixed offered rate: latency under constant pressure.
+    svc = serve(result, max_batch=max_batch, max_wait=max_wait)
+    gen = LoadGenerator(svc, pool, seed=SEED)
+    scenarios["open_loop_1k"] = _scenario_dict(
+        gen.open_loop(requests=n_open, rate_qps=1000.0,
+                      scenario="open_loop_1k"))
+
+    # Sharded workers (2 shards, exact halo) under the closed loop.
+    svc = serve(result, server="sharded", num_shards=2,
+                max_batch=max_batch, max_wait=max_wait)
+    gen = LoadGenerator(svc, pool, seed=SEED)
+    report = gen.closed_loop(requests=n_closed // 2, concurrency=8,
+                             scenario="sharded_2_c8")
+    scenarios["sharded_2_c8"] = _scenario_dict(
+        report, extra={"halo": svc.session.halo_stats()})
+
+    return {
+        "schema": SERVING_SCHEMA,
+        "label": label,
+        "created": time.strftime("%Y-%m-%dT%H:%M:%S"),
+        "config": {"spec": spec.to_dict(), "max_batch": max_batch,
+                   "max_wait": max_wait, "seed": SEED,
+                   "pool_windows": int(len(pool)), "quick": bool(quick)},
+        "scenarios": scenarios,
+    }
+
+
+# ---------------------------------------------------------------------------
+# Snapshot plumbing
+# ---------------------------------------------------------------------------
+def validate_serving(section: dict) -> None:
+    """Raise ``ValueError`` unless ``section`` is a valid serving section."""
+    if not isinstance(section, dict) or section.get("schema") != SERVING_SCHEMA:
+        raise ValueError(f"not a {SERVING_SCHEMA} serving section")
+    for key in ("created", "config", "scenarios"):
+        if key not in section:
+            raise ValueError(f"serving section missing {key!r}")
+    for name, s in section["scenarios"].items():
+        for field in ("mode", "requests", "qps", "latency_p50",
+                      "latency_p95", "latency_p99", "mean_batch_size",
+                      "deadline_misses"):
+            if field not in s:
+                raise ValueError(f"scenario {name!r} missing {field!r}")
+
+
+def merge_into_snapshot(section: dict, path: str | Path) -> Path:
+    """Write ``section`` as the ``serving`` key of the snapshot at ``path``,
+    creating a minimal (micro/training-empty) snapshot if none exists."""
+    from repro.profiling.bench import SCHEMA, validate_snapshot
+
+    validate_serving(section)
+    path = Path(path)
+    if path.exists():
+        data = json.loads(path.read_text())
+        validate_snapshot(data)
+    else:
+        import platform
+        import scipy
+        data = {
+            "schema": SCHEMA,
+            "label": section.get("label", ""),
+            "created": section["created"],
+            "platform": {
+                "python": platform.python_version(),
+                "numpy": np.__version__,
+                "scipy": scipy.__version__,
+                "machine": platform.machine(),
+            },
+            "micro": [],
+            "training": {},
+        }
+    data["serving"] = section
+    path.write_text(json.dumps(data, indent=2, sort_keys=False) + "\n")
+    return path
+
+
+def default_target(root: str | Path = ".") -> Path:
+    """Newest existing ``BENCH_<n>.json`` (or a fresh ``BENCH_1.json``)."""
+    root = Path(root)
+    best, best_n = None, 0
+    for p in root.glob("BENCH_*.json"):
+        m = re.fullmatch(r"BENCH_(\d+)\.json", p.name)
+        if m and int(m.group(1)) > best_n:
+            best, best_n = p, int(m.group(1))
+    return best if best is not None else root / "BENCH_1.json"
+
+
+# ---------------------------------------------------------------------------
+# Diffing
+# ---------------------------------------------------------------------------
+def diff_serving(old: dict, new: dict) -> dict:
+    """Per-scenario ``qps`` / tail-latency ratios (``>1`` = new is better)."""
+    for d in (old, new):
+        if "serving" not in d:
+            raise ValueError("snapshot has no serving section")
+        validate_serving(d["serving"])
+    out = {}
+    shared = (set(old["serving"]["scenarios"])
+              & set(new["serving"]["scenarios"]))
+    for name in sorted(shared):
+        o = old["serving"]["scenarios"][name]
+        n = new["serving"]["scenarios"][name]
+        out[name] = {
+            "old_qps": o["qps"], "new_qps": n["qps"],
+            "qps_speedup": n["qps"] / o["qps"] if o["qps"] else float("inf"),
+            "old_p99": o["latency_p99"], "new_p99": n["latency_p99"],
+            "p99_speedup": (o["latency_p99"] / n["latency_p99"]
+                            if n["latency_p99"] else float("inf")),
+        }
+    return out
+
+
+def format_serving_diff(diff: dict) -> str:
+    lines = ["== serving (qps / p99) =="]
+    width = max([len(n) for n in diff] or [4])
+    for name, d in diff.items():
+        lines.append(
+            f"  {name:<{width}}  {d['old_qps']:>8.0f} -> {d['new_qps']:>8.0f}"
+            f" qps  x{d['qps_speedup']:.2f}   p99 "
+            f"{d['old_p99'] * 1e3:.2f} -> {d['new_p99'] * 1e3:.2f} ms  "
+            f"x{d['p99_speedup']:.2f}")
+    return "\n".join(lines)
+
+
+def _format_section(section: dict) -> str:
+    lines = [f"serving suite ({'quick' if section['config']['quick'] else 'full'})"]
+    for name, s in section["scenarios"].items():
+        lines.append(
+            f"  {name}: {s['qps']:.0f} qps, p50/p95/p99 "
+            f"{s['latency_p50'] * 1e3:.2f}/{s['latency_p95'] * 1e3:.2f}/"
+            f"{s['latency_p99'] * 1e3:.2f} ms, mean batch "
+            f"{s['mean_batch_size']:.1f}, misses {s['deadline_misses']}")
+    return "\n".join(lines)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="serve_bench", description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter)
+    parser.add_argument("--quick", action="store_true",
+                        help="fast smoke mode: fewer requests, 1 epoch")
+    parser.add_argument("--out", type=Path, default=None,
+                        help="snapshot to merge the serving section into "
+                             "(default: newest BENCH_<n>.json here)")
+    parser.add_argument("--label", default="",
+                        help="free-form note recorded in the section")
+    parser.add_argument("--diff", nargs=2, metavar=("OLD", "NEW"),
+                        help="compare two snapshots' serving sections")
+    args = parser.parse_args(argv)
+
+    if args.diff:
+        old = json.loads(Path(args.diff[0]).read_text())
+        new = json.loads(Path(args.diff[1]).read_text())
+        print(format_serving_diff(diff_serving(old, new)))
+        return 0
+
+    section = collect_serving(quick=args.quick, label=args.label)
+    print(_format_section(section))
+    target = args.out if args.out is not None else default_target()
+    merge_into_snapshot(section, target)
+    print(f"merged serving section into {target}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -23,6 +23,11 @@ Components are discoverable and extensible through the registries::
 
 Loaders handed to the trainers satisfy the :class:`BatchSource` protocol
 (``batch_at`` / ``batches`` / ``num_snapshots`` / ``batch_size``).
+
+Trained artifacts go online through :func:`serve` — a checkpoint path,
+``RunResult`` or spec becomes a micro-batching
+:class:`~repro.serving.service.ForecastService`, with server topologies
+(``local`` / ``sharded``) resolved through the :data:`SERVERS` registry.
 """
 
 from repro.api.registry import (
@@ -47,9 +52,10 @@ from repro.api.scales import (
     resolve_name,
 )
 from repro.api import builders as _builders  # populate default registries
-from repro.api.builders import LoaderBundle, ModelContext
+from repro.api.builders import LoaderBundle, ModelContext, default_in_features
 from repro.api.spec import RunSpec, SHUFFLES, STRATEGIES
 from repro.api.runner import RunArtifacts, RunResult, run
+from repro.api.serving import SERVERS, list_servers, restore_checkpoint, serve
 from repro.batching.protocols import BatchSource, ensure_batch_source
 
 __all__ = [
@@ -78,6 +84,11 @@ __all__ = [
     "RunResult",
     "RunArtifacts",
     "run",
+    "SERVERS",
+    "list_servers",
+    "serve",
+    "restore_checkpoint",
+    "default_in_features",
     "BatchSource",
     "ensure_batch_source",
 ]

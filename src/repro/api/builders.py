@@ -86,6 +86,13 @@ class LoaderBundle:
     scaler: StandardScaler
 
 
+def default_in_features(dataset: SpatioTemporalDataset) -> int:
+    """Model input width for a dataset: raw channels plus the time-of-day
+    channel traffic preprocessing appends (paper Algorithm 1, step 1)."""
+    extra = 1 if dataset.spec.domain == "traffic" else 0
+    return dataset.raw_features + extra
+
+
 # ---------------------------------------------------------------------------
 # Models
 # ---------------------------------------------------------------------------

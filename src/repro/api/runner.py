@@ -15,7 +15,7 @@ import time
 from dataclasses import dataclass, field
 from typing import Any
 
-from repro.api.builders import LoaderBundle, ModelContext
+from repro.api.builders import LoaderBundle, ModelContext, default_in_features
 from repro.api.registry import BATCHINGS, DATASETS, MODELS, OPTIMIZERS
 from repro.api.scales import Scale, get_scale
 from repro.api.spec import RunSpec
@@ -129,10 +129,9 @@ def run(spec: RunSpec, *, scale: Scale | None = None,
     bundle: LoaderBundle = BATCHINGS.get(spec.batching)(
         ds, horizon, scale.batch_size, space)
 
-    in_features = 2 if ds.spec.domain == "traffic" else 1
     ctx = ModelContext(graph=ds.graph, horizon=horizon,
-                       in_features=in_features, hidden_dim=scale.hidden_dim,
-                       seed=spec.seed)
+                       in_features=default_in_features(ds),
+                       hidden_dim=scale.hidden_dim, seed=spec.seed)
     model = MODELS.get(spec.model)(ctx)
     trainable = [p for p in model.parameters() if p.requires_grad]
     optimizer = OPTIMIZERS.get(spec.optimizer)(trainable, spec.lr)

@@ -1,0 +1,153 @@
+"""``serve(...)``: the declarative entry point into the serving subsystem.
+
+Training's counterpart to :func:`repro.api.runner.run`: point it at a
+trained artifact — a **self-describing checkpoint** path, a finished
+:class:`~repro.api.runner.RunResult`, or a :class:`~repro.api.spec.RunSpec`
+(trained on the spot) — and get a ready
+:class:`~repro.serving.service.ForecastService` back::
+
+    from repro.api import RunSpec, run, serve
+
+    result = run(RunSpec(dataset="pems-bay", scale="tiny"))
+    svc = serve(result)                       # local single-worker session
+    svc = serve("ckpt.npz", server="sharded", num_shards=4)
+
+Server topologies live in the :data:`SERVERS` registry (``local`` /
+``sharded`` by default), so alternative request paths register exactly
+like models and datasets do.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from repro.api.builders import ModelContext, default_in_features
+from repro.api.registry import MODELS, Registry
+from repro.api.scales import get_scale
+from repro.api.spec import RunSpec
+from repro.serving.cache import FeatureStore
+from repro.serving.service import ForecastService
+from repro.serving.session import ModelSession
+from repro.serving.sharding import ShardedSession
+
+#: Server topologies resolvable by ``serve(..., server=<key>)``.
+SERVERS = Registry("server")
+
+
+def list_servers() -> list[str]:
+    """Keys accepted by ``serve``'s ``server`` argument."""
+    return SERVERS.names()
+
+
+@SERVERS.register("local")
+def _build_local_session(model, scaler, dataset, spec, *, max_batch: int = 32,
+                         store_capacity: int | None = None,
+                         **_ignored) -> ModelSession:
+    """Single-worker session with an attached sliding-window store."""
+    session = ModelSession(model, scaler, spec=spec, max_batch=max_batch)
+    if scaler is not None and dataset is not None:
+        session.attach_store(FeatureStore.for_dataset(
+            dataset, scaler,
+            capacity=store_capacity or 4 * session.horizon))
+    return session
+
+
+@SERVERS.register("sharded")
+def _build_sharded_session(model, scaler, dataset, spec, *,
+                           max_batch: int = 32, num_shards: int = 2,
+                           receptive_hops: int | None = None,
+                           store_capacity: int | None = None,
+                           **_ignored) -> ShardedSession:
+    """Partitioned multi-worker session with halo-exchange accounting."""
+    if dataset is None:
+        raise ValueError("sharded serving needs the sensor graph; serve a "
+                         "RunResult or a spec-embedding checkpoint")
+    return ShardedSession(model, scaler, dataset.graph,
+                          num_shards=num_shards, spec=spec,
+                          max_batch=max_batch, receptive_hops=receptive_hops,
+                          store_capacity=store_capacity,
+                          add_time_feature=dataset.spec.domain == "traffic")
+
+
+def restore_checkpoint(path: str) -> tuple[Any, Any, RunSpec, Any]:
+    """Rebuild ``(model, scaler, spec, dataset)`` from a self-describing
+    checkpoint.
+
+    The checkpoint must have been written with
+    ``save_checkpoint(..., spec=...)``; dataset generation is
+    deterministic in the spec's seed, so the sensor graph (and therefore
+    the diffusion supports) match the training run exactly.
+    """
+    from repro.api.runner import _load_cached_dataset
+    from repro.training.checkpoint import (
+        load_checkpoint, read_checkpoint_meta, read_checkpoint_scaler)
+
+    meta = read_checkpoint_meta(path)
+    if meta.get("spec") is None:
+        raise ValueError(
+            f"{path} is not self-describing: it was saved without "
+            f"spec=...; re-save with save_checkpoint(..., spec=run_spec)")
+    spec = RunSpec.from_dict(meta["spec"])
+    scale = get_scale(spec.scale)
+    # Shares the runner's dataset cache: serve(ckpt) right after
+    # run(spec) reuses the already-generated dataset + sensor graph.
+    ds = _load_cached_dataset(spec.dataset, scale.nodes, scale.entries,
+                              spec.seed)
+    horizon = scale.horizon or ds.spec.horizon
+    ctx = ModelContext(graph=ds.graph, horizon=horizon,
+                       in_features=default_in_features(ds),
+                       hidden_dim=scale.hidden_dim, seed=spec.seed)
+    model = MODELS.get(spec.model)(ctx)
+    load_checkpoint(path, model)
+    return model, read_checkpoint_scaler(path), spec, ds
+
+
+def serve(source: Any, *, server: str = "local", max_batch: int = 32,
+          max_wait: float = 0.005, clock: Callable[[], float] | None = None,
+          service_time: Callable[[int], float] | None = None,
+          **server_kwargs) -> ForecastService:
+    """Build a :class:`ForecastService` from a trained artifact.
+
+    Parameters
+    ----------
+    source:
+        a checkpoint path (``str``), a finished
+        :class:`~repro.api.runner.RunResult`, or a
+        :class:`~repro.api.spec.RunSpec` (which is trained first via
+        :func:`~repro.api.runner.run` — convenient, but expensive).
+    server:
+        :data:`SERVERS` key choosing the session topology
+        (``local`` / ``sharded``).
+    max_batch / max_wait:
+        micro-batching knobs: coalesce up to ``max_batch`` requests but
+        never hold one longer than ``max_wait`` seconds.
+    clock / service_time:
+        forwarded to :class:`ForecastService` (explicit simulated time and
+        a synthetic service-time model; both default to honest wall-clock
+        measurement on a :class:`~repro.serving.service.ManualClock`).
+    server_kwargs:
+        extra knobs for the server builder (``num_shards``,
+        ``receptive_hops``, ``store_capacity``, ...).
+    """
+    from repro.api.runner import RunResult, run
+
+    if isinstance(source, RunSpec):
+        source = run(source)
+    if isinstance(source, RunResult):
+        art = source.artifacts
+        if art is None:
+            raise ValueError("RunResult carries no artifacts; serve the "
+                             "checkpoint it saved instead")
+        model, scaler, spec, ds = (art.model, art.loaders.scaler,
+                                   source.spec, art.dataset)
+    elif isinstance(source, str):
+        model, scaler, spec, ds = restore_checkpoint(source)
+    else:
+        raise TypeError(
+            f"serve() takes a checkpoint path, RunSpec or RunResult, got "
+            f"{type(source).__name__}")
+
+    session = SERVERS.get(server)(model, scaler, ds, spec,
+                                  max_batch=max_batch, **server_kwargs)
+    return ForecastService(session, max_wait=max_wait, clock=clock,
+                           service_time=service_time)

@@ -113,3 +113,24 @@ class Module:
 
     def __call__(self, *args, **kwargs):
         return self.forward(*args, **kwargs)
+
+
+def assert_inference_mode(module: Module) -> None:
+    """Raise unless ``module`` is fully in inference mode.
+
+    Inference mode means gradient recording is off (``no_grad``) *and*
+    every submodule has ``training=False`` (``module.eval()``), so a
+    forward pass can neither extend the autograd graph nor trip
+    training-only behaviour (scheduled sampling, dropout).  Evaluation
+    loops and the serving path call this before forwarding.
+    """
+    from repro.autograd.grad_mode import is_grad_enabled
+    if is_grad_enabled():
+        raise RuntimeError(
+            "inference requires no_grad(): gradient recording is enabled, "
+            "so this forward pass would silently extend the autograd graph")
+    stale = [type(m).__name__ for m in module.modules() if m.training]
+    if stale:
+        raise RuntimeError(
+            f"inference requires eval mode, but {len(stale)} module(s) still "
+            f"have training=True (e.g. {stale[0]}); call model.eval() first")

@@ -1,0 +1,43 @@
+"""``repro.serving``: the online forecast-serving subsystem.
+
+Turns trained checkpoints into a queryable, instrumented service:
+
+- :class:`~repro.serving.session.ModelSession` — a restored model behind
+  persistent buffers, answering ``no_grad`` forwards.
+- :class:`~repro.serving.cache.FeatureStore` — per-sensor sliding-window
+  store that standardizes streaming observations exactly once.
+- :class:`~repro.serving.queue.MicroBatchQueue` — request coalescing up
+  to ``max_batch``/``max_wait`` with deadline accounting.
+- :class:`~repro.serving.sharding.ShardedSession` — partitioned workers
+  with owner routing and byte-accounted halo exchange.
+- :class:`~repro.serving.service.ForecastService` — the synchronous
+  facade tying session + queue + clock together.
+- :class:`~repro.serving.loadgen.LoadGenerator` — reproducible closed-
+  and open-loop load with p50/p95/p99 latency and QPS reporting.
+
+The declarative entry point lives in ``repro.api``:
+``serve(spec_or_checkpoint) -> ForecastService``.
+"""
+
+from repro.serving.cache import FeatureStore
+from repro.serving.loadgen import LoadGenerator, LoadReport
+from repro.serving.queue import ForecastRequest, MicroBatchQueue
+from repro.serving.service import Forecast, ForecastService, ManualClock, ServiceStats
+from repro.serving.session import ModelSession
+from repro.serving.sharding import ShardedSession, ShardWorker, halo_nodes
+
+__all__ = [
+    "FeatureStore",
+    "Forecast",
+    "ForecastRequest",
+    "ForecastService",
+    "LoadGenerator",
+    "LoadReport",
+    "ManualClock",
+    "MicroBatchQueue",
+    "ModelSession",
+    "ServiceStats",
+    "ShardWorker",
+    "ShardedSession",
+    "halo_nodes",
+]

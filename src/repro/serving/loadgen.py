@@ -1,0 +1,235 @@
+"""Reproducible load generation against a :class:`ForecastService`.
+
+Two canonical harnesses from the serving-systems literature:
+
+- **closed loop** — ``concurrency`` clients, each submitting its next
+  request the moment (plus ``think_time``) its previous one completes.
+  Measures sustainable throughput: offered load adapts to the service.
+- **open loop** — requests arrive on a fixed schedule (Poisson or
+  uniform) at ``rate_qps`` regardless of completions.  Measures latency
+  under a given offered load, including queueing collapse past capacity.
+
+The generator is event-driven over the service's
+:class:`~repro.serving.service.ManualClock`: it advances simulated time
+to each arrival and to each coalescing-timer expiry, so the schedule of
+batches is an exact function of (seed, knobs, service times).  With the
+service's default *measured* service times, latency percentiles are
+honest wall-clock numbers; with a synthetic ``service_time`` model the
+entire run — every latency, every batch size — is bit-reproducible,
+which the determinism test exploits.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+from typing import Any
+
+import numpy as np
+
+from repro.serving.service import Forecast, ForecastService, ManualClock
+from repro.utils.errors import ShapeError
+
+
+@dataclass
+class LoadReport:
+    """Aggregate outcome of one load-generation run."""
+
+    scenario: str
+    mode: str                    # "closed" | "open"
+    requests: int
+    duration_seconds: float      # simulated clock span of the run
+    qps: float                   # completed requests / duration
+    offered_qps: float | None    # open loop only: the arrival rate
+    latency_p50: float           # seconds, on the service clock
+    latency_p95: float
+    latency_p99: float
+    latency_mean: float
+    latency_max: float
+    queue_wait_mean: float
+    mean_batch_size: float
+    batches: int
+    deadline_misses: int
+    utilization: float           # model-busy seconds / duration
+    seed: int
+
+    def to_dict(self) -> dict:
+        return {k: (v if not isinstance(v, float) else float(v))
+                for k, v in self.__dict__.items()}
+
+    def summary(self) -> str:
+        offered = (f" (offered {self.offered_qps:.0f} qps)"
+                   if self.offered_qps else "")
+        return (f"{self.scenario}: {self.requests} reqs in "
+                f"{self.duration_seconds * 1e3:.1f} ms -> "
+                f"{self.qps:.0f} qps{offered}, latency p50/p95/p99 "
+                f"{self.latency_p50 * 1e3:.2f}/{self.latency_p95 * 1e3:.2f}/"
+                f"{self.latency_p99 * 1e3:.2f} ms, mean batch "
+                f"{self.mean_batch_size:.1f}, misses {self.deadline_misses}")
+
+
+class LoadGenerator:
+    """Drives a :class:`ForecastService` with a seeded request stream.
+
+    Parameters
+    ----------
+    service:
+        the service under test; must run on a
+        :class:`~repro.serving.service.ManualClock` (the generator owns
+        time).
+    windows:
+        ``[pool, horizon, nodes, features]`` standardized input windows;
+        each request samples one uniformly (seeded).
+    seed:
+        RNG seed for window choice and arrival schedules.
+    """
+
+    def __init__(self, service: ForecastService, windows: np.ndarray, *,
+                 seed: int = 0):
+        if not isinstance(service.clock, ManualClock):
+            raise TypeError("LoadGenerator needs a service on a ManualClock; "
+                            "it drives simulated time explicitly")
+        windows = np.asarray(windows)
+        if windows.ndim != 4 or len(windows) == 0:
+            raise ShapeError(f"windows pool must be non-empty "
+                             f"[pool, horizon, nodes, features], "
+                             f"got {windows.shape}")
+        self.service = service
+        self.clock: ManualClock = service.clock
+        self.windows = windows
+        self.seed = int(seed)
+        self.rng = np.random.default_rng(self.seed)
+
+    # ------------------------------------------------------------------
+    def _pick_window(self) -> np.ndarray:
+        return self.windows[int(self.rng.integers(len(self.windows)))]
+
+    def _fire_timers_until(self, t: float, sink: list[Forecast]) -> None:
+        """Advance through every coalescing-timer expiry before time ``t``."""
+        while True:
+            remaining = self.service.queue.time_until_ready()
+            if remaining is None:
+                return
+            fire_at = self.clock.now + remaining
+            if fire_at > t:
+                return
+            self.clock.advance_to(fire_at)
+            sink.extend(self.service.poll())
+
+    def _drain(self, sink: list[Forecast]) -> None:
+        """Run out the queue through its natural timers (no force-flush,
+        so tail requests keep honest coalescing-delay latencies)."""
+        while len(self.service.queue):
+            remaining = self.service.queue.time_until_ready()
+            self.clock.advance_to(self.clock.now + (remaining or 0.0))
+            sink.extend(self.service.poll())
+
+    def _report(self, scenario: str, mode: str, done: list[Forecast],
+                start: float, offered_qps: float | None,
+                busy_before: float, batches_before: int) -> LoadReport:
+        duration = self.clock.now - start
+        lat = np.array([fc.latency for fc in done], dtype=np.float64)
+        waits = np.array([fc.queue_wait for fc in done], dtype=np.float64)
+        sizes = np.array([fc.batch_size for fc in done], dtype=np.float64)
+        p50, p95, p99 = (np.percentile(lat, [50, 95, 99])
+                         if len(lat) else (np.nan,) * 3)
+        batches = self.service.stats.batches - batches_before
+        busy = self.service.stats.busy_seconds - busy_before
+        return LoadReport(
+            scenario=scenario, mode=mode, requests=len(done),
+            duration_seconds=duration,
+            qps=len(done) / duration if duration > 0 else float("inf"),
+            offered_qps=offered_qps,
+            latency_p50=float(p50), latency_p95=float(p95),
+            latency_p99=float(p99),
+            latency_mean=float(lat.mean()) if len(lat) else float("nan"),
+            latency_max=float(lat.max()) if len(lat) else float("nan"),
+            queue_wait_mean=float(waits.mean()) if len(waits) else float("nan"),
+            mean_batch_size=float(sizes.mean()) if len(sizes) else 0.0,
+            batches=batches,
+            deadline_misses=sum(fc.deadline_missed for fc in done),
+            utilization=busy / duration if duration > 0 else 0.0,
+            seed=self.seed)
+
+    # ------------------------------------------------------------------
+    def closed_loop(self, *, requests: int, concurrency: int = 8,
+                    think_time: float = 0.0, deadline: float | None = None,
+                    scenario: str = "closed") -> LoadReport:
+        """``concurrency`` clients in lock-step with their completions."""
+        if requests < 1 or concurrency < 1:
+            raise ValueError("requests and concurrency must be >= 1")
+        svc = self.service
+        start = self.clock.now
+        busy0, batches0 = svc.stats.busy_seconds, svc.stats.batches
+        # (time, tiebreak, client) submission events.  The main loop always
+        # processes the earlier of {next submission, coalescing timer}, so
+        # simulated time advances monotonically through both.
+        scheduled = min(concurrency, requests)
+        events: list[tuple[float, int, int]] = [
+            (start, c, c) for c in range(scheduled)]
+        heapq.heapify(events)
+        owner: dict[int, int] = {}
+        seq = scheduled
+        done: list[Forecast] = []
+
+        def collect() -> None:
+            """Record completions; each frees its client to resubmit."""
+            nonlocal seq, scheduled
+            for fc in svc.poll():
+                done.append(fc)
+                if scheduled < requests:
+                    heapq.heappush(events, (self.clock.now + think_time, seq,
+                                            owner[fc.request_id]))
+                    seq += 1
+                    scheduled += 1
+
+        while len(done) < requests:
+            remaining = svc.queue.time_until_ready()
+            timer_at = None if remaining is None else self.clock.now + remaining
+            if events and (timer_at is None or events[0][0] <= timer_at):
+                t, _, client = heapq.heappop(events)
+                self.clock.advance_to(t)
+                rid = svc.submit(self._pick_window(),
+                                 deadline=None if deadline is None
+                                 else self.clock.now + deadline)
+                owner[rid] = client
+                collect()
+            elif timer_at is not None:
+                self.clock.advance_to(timer_at)
+                collect()
+            else:                                  # pragma: no cover
+                raise RuntimeError("closed loop stalled: no events, no queue")
+        return self._report(scenario, "closed", done, start, None,
+                            busy0, batches0)
+
+    # ------------------------------------------------------------------
+    def open_loop(self, *, requests: int, rate_qps: float,
+                  arrival: str = "poisson", deadline: float | None = None,
+                  scenario: str = "open") -> LoadReport:
+        """Fixed-rate arrivals, independent of completions."""
+        if requests < 1:
+            raise ValueError("requests must be >= 1")
+        if rate_qps <= 0:
+            raise ValueError("rate_qps must be positive")
+        if arrival == "poisson":
+            gaps = self.rng.exponential(1.0 / rate_qps, size=requests)
+        elif arrival == "uniform":
+            gaps = np.full(requests, 1.0 / rate_qps)
+        else:
+            raise ValueError(f"arrival must be 'poisson' or 'uniform', "
+                             f"got {arrival!r}")
+        svc = self.service
+        start = self.clock.now
+        busy0, batches0 = svc.stats.busy_seconds, svc.stats.batches
+        arrivals = start + np.cumsum(gaps)
+        done: list[Forecast] = []
+        for t in arrivals:
+            self._fire_timers_until(float(t), done)
+            self.clock.advance_to(float(t))
+            svc.submit(self._pick_window(),
+                       deadline=None if deadline is None
+                       else self.clock.now + deadline)
+            done.extend(svc.poll())
+        self._drain(done)
+        return self._report(scenario, "open", done, start, float(rate_qps),
+                            busy0, batches0)

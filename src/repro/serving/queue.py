@@ -1,0 +1,138 @@
+"""Micro-batching request queue with deadline accounting.
+
+Online inference throughput comes from coalescing concurrent requests
+into one fused forward pass (the Clipper-style adaptive batching
+argument): a batch of 8 windows costs far less than 8 single forwards
+because the per-step Python/kernel overhead amortises.  The queue
+coalesces up to ``max_batch`` requests, but never holds a request longer
+than ``max_wait`` — the classic batching/latency trade-off, both knobs
+explicit.
+
+The queue is a pure, synchronous data structure driven by an injectable
+``clock`` (the service passes a shared one): ``submit`` stamps arrivals,
+``ready`` reports whether a batch should be dispatched *now*, and
+``next_batch`` pops it.  No threads — the serving loop and the load
+generator drive time explicitly, which keeps every schedule reproducible.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+#: Wait-comparison tolerance (1 ns).  ``max_wait - oldest_wait`` can round
+#: to a sub-ulp remainder once a clock is advanced *to* the fire time, which
+#: would leave ``ready()`` false forever at an unreachable instant; one
+#: nanosecond is far below any meaningful service latency.
+_WAIT_EPS = 1e-9
+
+
+@dataclass
+class ForecastRequest:
+    """One queued forecast request.
+
+    ``window`` is the standardized model input ``[horizon, nodes,
+    features]``; ``deadline`` (absolute clock time, optional) marks when
+    the answer stops being useful — completion later than this counts as
+    a deadline miss, not a drop.
+    """
+
+    request_id: int
+    window: np.ndarray
+    arrival: float
+    deadline: float | None = None
+    # Filled in by the service at dispatch/completion time.
+    dispatched: float = field(default=float("nan"))
+    completed: float = field(default=float("nan"))
+    batch_size: int = 0
+
+    @property
+    def queue_wait(self) -> float:
+        return self.dispatched - self.arrival
+
+    @property
+    def latency(self) -> float:
+        return self.completed - self.arrival
+
+    @property
+    def deadline_missed(self) -> bool:
+        return self.deadline is not None and self.completed > self.deadline
+
+
+class MicroBatchQueue:
+    """FIFO of :class:`ForecastRequest`\\ s with coalescing policy.
+
+    A batch is ready when ``max_batch`` requests are pending, or when the
+    oldest pending request has waited at least ``max_wait`` seconds.
+    """
+
+    def __init__(self, *, max_batch: int = 8, max_wait: float = 0.005,
+                 clock: Callable[[], float] | None = None):
+        if max_batch < 1:
+            raise ValueError(f"max_batch must be >= 1, got {max_batch}")
+        if max_wait < 0:
+            raise ValueError(f"max_wait must be >= 0, got {max_wait}")
+        import time
+        self.max_batch = int(max_batch)
+        self.max_wait = float(max_wait)
+        self.clock = clock if clock is not None else time.perf_counter
+        self._pending: deque[ForecastRequest] = deque()
+        self._next_id = 0
+
+    def __len__(self) -> int:
+        return len(self._pending)
+
+    def submit(self, window: np.ndarray, *,
+               deadline: float | None = None) -> ForecastRequest:
+        """Enqueue one request, stamped with the current clock time."""
+        req = ForecastRequest(request_id=self._next_id, window=window,
+                              arrival=self.clock(), deadline=deadline)
+        self._next_id += 1
+        self._pending.append(req)
+        return req
+
+    def oldest_wait(self) -> float:
+        """Seconds the head request has been pending (0 when empty)."""
+        if not self._pending:
+            return 0.0
+        return self.clock() - self._pending[0].arrival
+
+    def ready(self) -> bool:
+        """Should a batch be dispatched now?"""
+        if not self._pending:
+            return False
+        return (len(self._pending) >= self.max_batch
+                or self.oldest_wait() >= self.max_wait - _WAIT_EPS)
+
+    def time_until_ready(self) -> float | None:
+        """Seconds until the coalescing timer fires for the head request:
+        0 when a batch is ready now, ``None`` when the queue is empty.
+        Event-driven callers (the load generator) advance their clock by
+        this instead of busy-polling."""
+        if not self._pending:
+            return None
+        if len(self._pending) >= self.max_batch:
+            return 0.0
+        remaining = self.max_wait - self.oldest_wait()
+        return 0.0 if remaining <= _WAIT_EPS else remaining
+
+    def next_batch(self, *, force: bool = False) -> list[ForecastRequest]:
+        """Pop up to ``max_batch`` requests; empty unless ready (or forced).
+
+        Dispatch times are stamped here; the caller stamps completion once
+        the fused forward finishes.
+        """
+        if not force and not self.ready():
+            return []
+        now = self.clock()
+        batch: list[ForecastRequest] = []
+        while self._pending and len(batch) < self.max_batch:
+            req = self._pending.popleft()
+            req.dispatched = now
+            batch.append(req)
+        for req in batch:
+            req.batch_size = len(batch)
+        return batch

@@ -1,0 +1,241 @@
+"""The synchronous :class:`ForecastService` facade.
+
+One object ties the serving subsystem together: a session (local
+:class:`~repro.serving.session.ModelSession` or
+:class:`~repro.serving.sharding.ShardedSession`) does the model work, a
+:class:`~repro.serving.queue.MicroBatchQueue` coalesces concurrent
+requests, and the service stamps per-request latency/deadline accounting
+on a shared clock.
+
+Time is explicit: the service runs on a :class:`ManualClock` by default
+(simulated request time, *measured* model-service time — every batch
+forward advances the clock by its real wall-clock duration), which makes
+queueing behaviour reproducible while keeping latency numbers honest.
+Pass ``clock=time.perf_counter`` for fully wall-clock operation.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Any, Callable
+
+import numpy as np
+
+from repro.serving.queue import ForecastRequest, MicroBatchQueue
+from repro.utils.errors import ShapeError
+
+
+class ManualClock:
+    """An explicitly-advanced clock (seconds).  Callable like
+    ``time.perf_counter`` so queues and services share it."""
+
+    def __init__(self, start: float = 0.0):
+        self.now = float(start)
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> float:
+        if seconds < 0:
+            raise ValueError("clock cannot run backwards")
+        self.now += seconds
+        return self.now
+
+    def advance_to(self, t: float) -> float:
+        self.now = max(self.now, float(t))
+        return self.now
+
+
+@dataclass
+class Forecast:
+    """One completed forecast.
+
+    ``predictions`` is ``[horizon, nodes]`` in original signal units when
+    the session has a scaler (standardized units otherwise) — an owned
+    copy, safe to retain.
+    """
+
+    request_id: int
+    predictions: np.ndarray
+    latency: float
+    queue_wait: float
+    batch_size: int
+    deadline_missed: bool
+
+
+@dataclass
+class ServiceStats:
+    """Aggregate accounting over a service's lifetime."""
+
+    requests: int = 0
+    batches: int = 0
+    deadline_misses: int = 0
+    busy_seconds: float = 0.0
+
+    @property
+    def mean_batch_size(self) -> float:
+        return self.requests / self.batches if self.batches else 0.0
+
+
+class ForecastService:
+    """Synchronous online-forecast front door.
+
+    ``forecast`` answers immediately (a batch of 1); ``submit`` +
+    ``poll``/``flush`` run the micro-batched path.  Both return
+    :class:`Forecast` records with per-request latency measured on the
+    service clock.
+    """
+
+    def __init__(self, session: Any, *, max_batch: int | None = None,
+                 max_wait: float = 0.005,
+                 clock: Callable[[], float] | None = None,
+                 service_time: Callable[[int], float] | None = None):
+        self.session = session
+        self.clock = clock if clock is not None else ManualClock()
+        # Synthetic service-time model: seconds a batch of n requests costs
+        # on the (manual) clock.  None = measure real wall time.  A fixed
+        # model makes whole load-generator schedules bit-reproducible.
+        self.service_time = service_time
+        max_batch = session.max_batch if max_batch is None else int(max_batch)
+        if max_batch > session.max_batch:
+            raise ValueError(
+                f"service max_batch {max_batch} exceeds the session's "
+                f"staging capacity {session.max_batch}")
+        self.queue = MicroBatchQueue(max_batch=max_batch, max_wait=max_wait,
+                                     clock=self.clock)
+        self.stats = ServiceStats()
+        self._completed: list[Forecast] = []
+
+    # ------------------------------------------------------------------
+    # Observation ingestion (delegates to the session's store(s))
+    # ------------------------------------------------------------------
+    def ingest(self, values: np.ndarray, timestamp_minutes: float) -> None:
+        self.session.ingest(values, timestamp_minutes)
+
+    def _check_window(self, window: np.ndarray | None) -> np.ndarray | None:
+        """Reject malformed windows at the door: a bad request must fail
+        its own caller, never poison the micro-batch it would have been
+        coalesced into (requests popped for a failed dispatch are gone)."""
+        if window is None:
+            return None
+        window = np.asarray(window)
+        expected = (self.session.horizon, self.session.num_nodes,
+                    self.session.in_features)
+        if window.shape != expected:
+            raise ShapeError(f"expected a {expected} window, "
+                             f"got {window.shape}")
+        return window
+
+    # ------------------------------------------------------------------
+    # Immediate path
+    # ------------------------------------------------------------------
+    def forecast(self, window: np.ndarray | None = None, *,
+                 deadline: float | None = None) -> Forecast:
+        """Serve one request now: force-dispatch the queue (coalescing
+        with anything already pending) and return this request's forecast.
+        Other requests' completions stay buffered for ``poll``/``flush``.
+
+        ``window=None`` forecasts from the session's current streamed
+        state (requires attached feature stores).
+        """
+        req = self.queue.submit(self._check_window(window), deadline=deadline)
+        while len(self.queue):
+            self._dispatch(self.queue.next_batch(force=True))
+        for i, fc in enumerate(self._completed):
+            if fc.request_id == req.request_id:
+                return self._completed.pop(i)
+        raise RuntimeError(f"request {req.request_id} never completed")
+
+    def forecast_streamed(self) -> np.ndarray:
+        """Forecast every sensor from the session's streamed state.
+
+        Local sessions read their feature store; sharded sessions assemble
+        per-shard inputs with halo exchange.  Returns ``[horizon, nodes]``
+        in original units (standardized without a scaler); no queueing.
+        """
+        preds = self.session.forecast_current()
+        if self.session.scaler is not None:
+            return self.session.to_original_units(preds)
+        return preds[..., 0].copy()
+
+    # ------------------------------------------------------------------
+    # Micro-batched path
+    # ------------------------------------------------------------------
+    def submit(self, window: np.ndarray | None = None, *,
+               deadline: float | None = None) -> int:
+        """Enqueue a request; returns its id.  Dispatches opportunistically
+        when the queue fills (results wait for the next ``poll``/``flush``)."""
+        req = self.queue.submit(self._check_window(window), deadline=deadline)
+        self._dispatch_due()
+        return req.request_id
+
+    def _dispatch_due(self) -> None:
+        while self.queue.ready():
+            self._dispatch(self.queue.next_batch())
+
+    def poll(self) -> list[Forecast]:
+        """Dispatch every batch the coalescing policy says is due;
+        returns (and drains) newly completed forecasts."""
+        self._dispatch_due()
+        done, self._completed = self._completed, []
+        return done
+
+    def flush(self) -> list[Forecast]:
+        """Force-dispatch everything pending and drain completions."""
+        while len(self.queue):
+            self._dispatch(self.queue.next_batch(force=True))
+        done, self._completed = self._completed, []
+        return done
+
+    # ------------------------------------------------------------------
+    def _materialise(self, reqs: list[ForecastRequest]) -> np.ndarray:
+        """Stack request windows directly into the session's staging
+        buffer (``predict`` skips its staging copy for views of it); a
+        ``None`` window means "the session's current streamed state"."""
+        batch = self.session.stage(len(reqs))
+        current = None
+        for i, req in enumerate(reqs):
+            if req.window is None:
+                if current is None:
+                    if not hasattr(self.session, "current_window"):
+                        raise RuntimeError(
+                            f"{type(self.session).__name__} does not expose "
+                            "current_window(); submit explicit windows")
+                    current = self.session.current_window()
+                batch[i] = current
+            else:
+                batch[i] = req.window
+        return batch
+
+    def _dispatch(self, reqs: list[ForecastRequest]) -> list[Forecast]:
+        if not reqs:
+            return []
+        x = self._materialise(reqs)
+        t0 = time.perf_counter()
+        preds = self.session.predict(x)
+        service_seconds = time.perf_counter() - t0
+        if self.service_time is not None:
+            service_seconds = float(self.service_time(len(reqs)))
+        if isinstance(self.clock, ManualClock):
+            self.clock.advance(service_seconds)
+        now = self.clock()
+        self.stats.busy_seconds += service_seconds
+        self.stats.batches += 1
+        out = []
+        for i, req in enumerate(reqs):
+            req.completed = now
+            if self.session.scaler is not None:
+                values = self.session.to_original_units(preds[i])
+            else:
+                values = preds[i, ..., 0].copy()
+            fc = Forecast(request_id=req.request_id,
+                          predictions=np.ascontiguousarray(values),
+                          latency=req.latency, queue_wait=req.queue_wait,
+                          batch_size=req.batch_size,
+                          deadline_missed=req.deadline_missed)
+            out.append(fc)
+            self.stats.requests += 1
+            self.stats.deadline_misses += int(req.deadline_missed)
+        self._completed.extend(out)
+        return out

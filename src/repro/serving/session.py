@@ -1,0 +1,180 @@
+"""The inference session: a restored model behind preallocated buffers.
+
+A :class:`ModelSession` is the serving-side counterpart of the
+:class:`~repro.training.trainer.Trainer`: it owns a trained model locked
+into eval mode, the scaler that standardized its training data, and one
+persistent input-staging buffer, and answers ``predict`` calls under
+``no_grad`` with zero per-request staging allocation (the forward pass
+itself runs through the fused PR-2 kernels, which pool their interior
+buffers).
+
+Sessions are built either from live training artifacts or — the online
+path — from a **self-describing checkpoint** written by
+``save_checkpoint(..., spec=..., scaler=...)``: the embedded
+:class:`~repro.api.spec.RunSpec` names the dataset/model/scale registry
+keys, which deterministically reconstruct the sensor graph and model
+skeleton before the parameters are restored.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+import numpy as np
+
+from repro.autograd.grad_mode import no_grad
+from repro.autograd.tensor import Tensor
+from repro.nn.module import assert_inference_mode
+from repro.preprocessing.scaler import StandardScaler
+from repro.serving.cache import FeatureStore
+from repro.utils.errors import ShapeError
+
+
+class ModelSession:
+    """A trained model prepared for online inference.
+
+    Parameters
+    ----------
+    model:
+        a trained :class:`~repro.models.base.STModel`; switched to eval
+        mode here and expected to stay there (``predict`` asserts it).
+    scaler:
+        the scaler fitted on the training split; used to interpret
+        standardized windows and invert predictions to original units.
+    spec:
+        optional :class:`~repro.api.spec.RunSpec` this model came from
+        (kept for introspection / re-serialisation).
+    max_batch:
+        capacity of the persistent input-staging buffer; also the largest
+        batch :meth:`predict` accepts.
+    """
+
+    def __init__(self, model: Any, scaler: StandardScaler | None = None, *,
+                 spec: Any = None, max_batch: int = 32):
+        if max_batch < 1:
+            raise ValueError(f"max_batch must be >= 1, got {max_batch}")
+        self.model = model.eval()
+        self.scaler = scaler
+        self.spec = spec
+        self.max_batch = int(max_batch)
+        self.horizon = int(model.horizon)
+        self.num_nodes = int(model.num_nodes)
+        self.in_features = int(model.in_features)
+        self.store: FeatureStore | None = None
+        self._in_buf = np.empty(
+            (self.max_batch, self.horizon, self.num_nodes, self.in_features),
+            dtype=np.float32)
+        self.requests_served = 0
+
+    # ------------------------------------------------------------------
+    # Construction from a self-describing checkpoint
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_checkpoint(cls, path: str, *, max_batch: int = 32,
+                        with_store: bool = True,
+                        store_capacity: int | None = None) -> "ModelSession":
+        """Restore model + scaler + spec from ``path`` and build a session.
+
+        The checkpoint must have been written with ``spec=`` (and, for
+        ``with_store``/original-unit forecasts, ``scaler=``).  The model
+        skeleton is rebuilt through the ``repro.api`` registries from the
+        embedded spec — dataset generation is deterministic in the spec's
+        seed, so the sensor graph (and therefore the diffusion supports)
+        match the training run exactly.
+        """
+        # Imported lazily: repro.api imports this module's package.
+        from repro.api.serving import restore_checkpoint
+
+        model, scaler, spec, ds = restore_checkpoint(path)
+        session = cls(model, scaler, spec=spec, max_batch=max_batch)
+        if with_store and scaler is not None:
+            session.attach_store(FeatureStore.for_dataset(
+                ds, scaler, capacity=store_capacity or 4 * session.horizon))
+        return session
+
+    # ------------------------------------------------------------------
+    # Streaming observations
+    # ------------------------------------------------------------------
+    def attach_store(self, store: FeatureStore) -> "ModelSession":
+        """Attach the sliding-window feature store backing ``ingest``."""
+        if store.num_nodes != self.num_nodes or \
+                store.num_features != self.in_features:
+            raise ShapeError(
+                f"store shape [{store.num_nodes} nodes x "
+                f"{store.num_features} features] does not match model "
+                f"[{self.num_nodes} x {self.in_features}]")
+        self.store = store
+        return self
+
+    def ingest(self, values: np.ndarray, timestamp_minutes: float) -> None:
+        """Feed one raw observation row into the attached feature store."""
+        if self.store is None:
+            raise RuntimeError("no FeatureStore attached; call attach_store "
+                               "or serve with with_store=True")
+        self.store.ingest(values, timestamp_minutes)
+
+    def current_window(self) -> np.ndarray:
+        """The latest model-input window materialised from the store."""
+        if self.store is None:
+            raise RuntimeError("no FeatureStore attached")
+        return self.store.window(self.horizon)
+
+    # ------------------------------------------------------------------
+    # Inference
+    # ------------------------------------------------------------------
+    def stage(self, batch: int) -> np.ndarray:
+        """A ``[batch, horizon, nodes, features]`` view of the persistent
+        staging buffer.  Fill it and hand it to :meth:`predict`, which
+        recognises the view and skips its staging copy — the seam the
+        :class:`~repro.serving.service.ForecastService` materialises
+        micro-batches through."""
+        if not 1 <= batch <= self.max_batch:
+            raise ValueError(f"batch {batch} outside [1, {self.max_batch}]")
+        return self._in_buf[:batch]
+
+    def predict(self, windows: np.ndarray) -> np.ndarray:
+        """Forward ``[batch, horizon, nodes, features]`` standardized
+        windows; returns ``[batch, horizon, nodes, 1]`` standardized
+        predictions.
+
+        The input is staged through the session's persistent buffer (no
+        per-request allocation) and the forward runs under ``no_grad``
+        with eval mode asserted, so serving can never extend the autograd
+        graph or trip training-only behaviour.
+        """
+        windows = np.asarray(windows)
+        if windows.ndim == 3:
+            windows = windows[None]
+        expected = (self.horizon, self.num_nodes, self.in_features)
+        if windows.ndim != 4 or windows.shape[1:] != expected:
+            raise ShapeError(f"expected [batch, {expected[0]}, {expected[1]}, "
+                             f"{expected[2]}] windows, got {windows.shape}")
+        b = windows.shape[0]
+        if b > self.max_batch:
+            raise ValueError(f"batch {b} exceeds session max_batch "
+                             f"{self.max_batch}; split the request or build "
+                             f"the session with a larger max_batch")
+        staged = self._in_buf[:b]
+        if not (windows.base is self._in_buf
+                and windows.ctypes.data == self._in_buf.ctypes.data):
+            np.copyto(staged, windows, casting="same_kind")
+        with no_grad():
+            assert_inference_mode(self.model)
+            out = self.model(Tensor(staged))
+        self.requests_served += b
+        return out.data
+
+    def forecast_current(self) -> np.ndarray:
+        """Predict from the attached store's latest window (batch of 1)."""
+        return self.predict(self.current_window()[None])[0]
+
+    def to_original_units(self, predictions: np.ndarray) -> np.ndarray:
+        """Invert standardization on the primary channel.
+
+        ``predictions`` is ``[..., nodes, 1]`` standardized model output;
+        returns ``[..., nodes]`` in original signal units.
+        """
+        if self.scaler is None:
+            raise RuntimeError("session has no scaler; predictions stay "
+                               "in standardized units")
+        return self.scaler.inverse_transform_channel(predictions[..., 0], 0)

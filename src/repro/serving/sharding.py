@@ -1,0 +1,304 @@
+"""Sharded serving: sensor-graph partitions, owner routing, halo exchange.
+
+The serving layer reuses the partitioner the paper develops for its
+distribution ablation (:func:`repro.graph.partition.partition_graph`):
+sensors are split into balanced shards, each shard *owns* its sensors'
+streaming observations and answers forecast requests for them.  A request
+for sensor *s* is routed to ``owner_of(s)``; only the owning shard (plus
+the peers it fetches halo columns from) does work.
+
+**Why shards still see the whole graph.**  An ST-GNN's receptive field
+grows by ``k_hops`` per diffusion per recurrent step, so over a
+12-step horizon a DCRNN's exact receptive field is effectively the entire
+sensor network — which is precisely the paper's argument *against*
+partitioned training.  Sharded serving therefore buys **data locality and
+routing** (each shard stores only its own columns; peers' columns arrive
+as byte-accounted halo fetches over :class:`~repro.distributed.comm.
+SimCommunicator`), not reduced compute.  Exact inference assembles the
+full input (``receptive_hops=None``, the default), which makes sharded
+predictions bitwise identical to single-shard inference; passing a finite
+``receptive_hops`` truncates the halo to a k-hop neighbourhood and
+zero-fills the rest — cheaper traffic, approximate forecasts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.autograd.grad_mode import no_grad
+from repro.autograd.tensor import Tensor
+from repro.distributed.comm import SimCommunicator
+from repro.graph.partition import partition_graph
+from repro.nn.module import assert_inference_mode
+from repro.preprocessing.scaler import StandardScaler
+from repro.serving.cache import FeatureStore
+from repro.utils.errors import ShapeError
+
+
+def halo_nodes(weights: sp.spmatrix, owned: np.ndarray,
+               hops: int | None, num_nodes: int) -> np.ndarray:
+    """Nodes outside ``owned`` whose features the shard needs.
+
+    ``hops=None`` returns every non-owned node (exact inference); a finite
+    hop count expands the owned set along the symmetrized adjacency
+    pattern and returns the expansion minus the owned set.
+    """
+    owned_mask = np.zeros(num_nodes, dtype=bool)
+    owned_mask[owned] = True
+    if hops is None:
+        return np.flatnonzero(~owned_mask)
+    pattern = ((weights + weights.T) != 0).tocsr()
+    reach = owned_mask.copy()
+    for _ in range(max(int(hops), 0)):
+        reach = reach | (pattern @ reach)
+    return np.flatnonzero(reach & ~owned_mask)
+
+
+@dataclass
+class ShardWorker:
+    """One shard: its owned sensors, halo set, and local state."""
+
+    shard_id: int
+    owned: np.ndarray           # sorted node ids this shard owns
+    halo: np.ndarray            # non-owned node ids it must fetch
+    store: FeatureStore | None  # owned-column observations only
+    assemble: np.ndarray        # [horizon, num_nodes, features] input buffer
+    own_window: np.ndarray      # [horizon, len(owned), features] scratch
+
+
+class ShardedSession:
+    """Multi-worker serving session over a partitioned sensor graph.
+
+    Functionally mirrors :class:`~repro.serving.session.ModelSession`
+    (``predict`` / ``ingest`` / ``forecast_current`` /
+    ``to_original_units``), so the :class:`~repro.serving.service.
+    ForecastService` facade treats both interchangeably.  All shards run
+    in-process and share one model instance (parameters are replicated in
+    a real deployment; simulation shares memory), while data movement is
+    charged to a :class:`SimCommunicator` with one rank per shard.
+    """
+
+    def __init__(self, model: Any, scaler: StandardScaler | None,
+                 graph: Any, *, num_shards: int, spec: Any = None,
+                 max_batch: int = 32, receptive_hops: int | None = None,
+                 store_capacity: int | None = None,
+                 comm: SimCommunicator | None = None,
+                 add_time_feature: bool | None = None):
+        self.model = model.eval()
+        self.scaler = scaler
+        self.graph = graph
+        self.spec = spec
+        self.num_shards = int(num_shards)
+        self.max_batch = int(max_batch)
+        self.receptive_hops = receptive_hops
+        self.horizon = int(model.horizon)
+        self.num_nodes = int(model.num_nodes)
+        self.in_features = int(model.in_features)
+        if graph.num_nodes != self.num_nodes:
+            raise ShapeError(f"graph has {graph.num_nodes} nodes but model "
+                             f"expects {self.num_nodes}")
+        self.assignment = partition_graph(graph.weights, self.num_shards)
+        self.comm = comm if comm is not None else SimCommunicator(self.num_shards)
+        if self.comm.world_size != self.num_shards:
+            raise ValueError("communicator world size must equal num_shards")
+
+        capacity = store_capacity or 4 * self.horizon
+        if add_time_feature is None:
+            add_time_feature = self._guess_time_feature()
+        self.add_time_feature = bool(add_time_feature)
+        self.workers: list[ShardWorker] = []
+        for s in range(self.num_shards):
+            owned = np.flatnonzero(self.assignment == s)
+            halo = halo_nodes(graph.weights, owned, receptive_hops,
+                              self.num_nodes)
+            store = None
+            if scaler is not None:
+                store = FeatureStore(
+                    scaler, num_nodes=len(owned),
+                    raw_features=self.in_features
+                    - int(self.add_time_feature),
+                    capacity=capacity,
+                    add_time_feature=self.add_time_feature)
+            self.workers.append(ShardWorker(
+                shard_id=s, owned=owned, halo=halo, store=store,
+                assemble=np.zeros((self.horizon, self.num_nodes,
+                                   self.in_features), np.float32),
+                own_window=np.empty((self.horizon, len(owned),
+                                     self.in_features), np.float32)))
+        self._in_buf = np.empty(
+            (self.max_batch, self.horizon, self.num_nodes, self.in_features),
+            dtype=np.float32)
+        self._merged = np.empty((self.horizon, self.num_nodes, 1), np.float32)
+        self._window_buf = np.empty(
+            (self.horizon, self.num_nodes, self.in_features), np.float32)
+        self.requests_served = 0
+
+    def _guess_time_feature(self) -> bool:
+        # Fallback when the builder did not say (direct construction
+        # without ``add_time_feature=``): traffic models train on raw
+        # signal + time-of-day, which is the only catalog shape with two
+        # input channels.  ``repro.api`` always passes the dataset's
+        # domain instead of relying on this.
+        return self.in_features == 2
+
+    # ------------------------------------------------------------------
+    # Routing
+    # ------------------------------------------------------------------
+    def owner_of(self, node: int) -> int:
+        """The shard that owns sensor ``node``."""
+        if not 0 <= node < self.num_nodes:
+            raise IndexError(f"node {node} out of range [0, {self.num_nodes})")
+        return int(self.assignment[node])
+
+    # ------------------------------------------------------------------
+    # Streaming observations (scattered to owner shards)
+    # ------------------------------------------------------------------
+    def ingest(self, values: np.ndarray, timestamp_minutes: float) -> None:
+        """Scatter one full observation row to each shard's local store."""
+        values = np.asarray(values)
+        for w in self.workers:
+            if w.store is None:
+                raise RuntimeError("sharded session built without a scaler "
+                                   "has no stores to ingest into")
+            w.store.ingest(values[w.owned], timestamp_minutes)
+
+    # ------------------------------------------------------------------
+    # Inference
+    # ------------------------------------------------------------------
+    def _forward(self, x: np.ndarray) -> np.ndarray:
+        with no_grad():
+            assert_inference_mode(self.model)
+            return self.model(Tensor(x)).data
+
+    def stage(self, batch: int) -> np.ndarray:
+        """A ``[batch, horizon, nodes, features]`` view of the persistent
+        staging buffer; :meth:`predict` recognises it and skips its
+        staging copy (same seam as :meth:`ModelSession.stage`)."""
+        if not 1 <= batch <= self.max_batch:
+            raise ValueError(f"batch {batch} outside [1, {self.max_batch}]")
+        return self._in_buf[:batch]
+
+    def predict(self, windows: np.ndarray) -> np.ndarray:
+        """Fused forward over explicit full windows, sharded merge.
+
+        The front door broadcasts the request batch to every shard (byte
+        accounted); each shard computes the forward and contributes its
+        owned rows to the merged ``[batch, horizon, nodes, 1]`` output.
+        With an exact halo every shard sees identical input, so the merge
+        is bitwise identical to unsharded inference.
+        """
+        windows = np.asarray(windows)
+        if windows.ndim == 3:
+            windows = windows[None]
+        expected = (self.horizon, self.num_nodes, self.in_features)
+        if windows.ndim != 4 or windows.shape[1:] != expected:
+            raise ShapeError(f"expected [batch, {expected[0]}, {expected[1]}, "
+                             f"{expected[2]}] windows, got {windows.shape}")
+        b = windows.shape[0]
+        if b > self.max_batch:
+            raise ValueError(f"batch {b} exceeds max_batch {self.max_batch}")
+        staged = self._in_buf[:b]
+        if not (windows.base is self._in_buf
+                and windows.ctypes.data == self._in_buf.ctypes.data):
+            np.copyto(staged, windows, casting="same_kind")
+        # Charge the request fan-out without materialising per-shard
+        # copies (broadcast() would allocate world_size full batches just
+        # to discard them; shards share memory in simulation anyway).
+        for w in self.workers[1:]:
+            self.comm.fetch(0, w.shard_id, staged.nbytes,
+                            category="serve-request")
+        out = np.empty((b, self.horizon, self.num_nodes, 1), np.float32)
+        for w in self.workers:
+            shard_out = self._forward(staged)
+            out[:, :, w.owned] = shard_out[:, :, w.owned]
+        self.requests_served += b
+        return out
+
+    def _assemble_from_stores(self, w: ShardWorker) -> np.ndarray:
+        """Build shard ``w``'s full input window: local columns + halo
+        fetches from peer owners (byte-accounted), zero elsewhere."""
+        if w.store is None:
+            raise RuntimeError("no stores attached (session needs a scaler)")
+        h = self.horizon
+        w.store.window(h, out=w.own_window)
+        w.assemble[:, w.owned] = w.own_window
+        itemsize = w.assemble.itemsize
+        for peer in self.workers:
+            if peer.shard_id == w.shard_id:
+                continue
+            cols = peer.owned[np.isin(peer.owned, w.halo, assume_unique=True)]
+            if len(cols) == 0:
+                continue
+            peer_window = peer.store.window(h, out=peer.own_window)
+            local = np.searchsorted(peer.owned, cols)
+            w.assemble[:, cols] = peer_window[:, local]
+            self.comm.fetch(peer.shard_id, w.shard_id,
+                            h * len(cols) * self.in_features * itemsize,
+                            category="halo")
+        return w.assemble
+
+    def current_window(self) -> np.ndarray:
+        """The full current input window assembled from every shard's
+        *owned* columns (ownership covers all sensors, so no halo traffic
+        is needed).  This is the front door's ``window=None``
+        materialisation for the micro-batched path; :meth:`predict` then
+        broadcasts it like any explicit window.
+
+        Returns an owned copy (like :meth:`ModelSession.current_window`):
+        callers may hold it across later ingests — a queued request must
+        keep the snapshot it was submitted with."""
+        out = self._window_buf
+        for w in self.workers:
+            if w.store is None:
+                raise RuntimeError("sharded session built without a scaler "
+                                   "has no stores to read")
+            w.store.window(self.horizon, out=w.own_window)
+            out[:, w.owned] = w.own_window
+        return out.copy()
+
+    def forecast_current(self) -> np.ndarray:
+        """Forecast every sensor from the shards' stores: each shard
+        assembles its halo, forwards, and contributes its owned rows."""
+        for w in self.workers:
+            x = self._assemble_from_stores(w)
+            shard_out = self._forward(x[None])[0]
+            self._merged[:, w.owned] = shard_out[:, w.owned]
+        self.requests_served += 1
+        return self._merged
+
+    def forecast_nodes(self, nodes: np.ndarray) -> np.ndarray:
+        """Route a per-sensor request: only the owner shards of ``nodes``
+        (plus their halo peers) do work.  Returns ``[horizon, len(nodes)]``
+        standardized predictions in request order."""
+        nodes = np.atleast_1d(np.asarray(nodes))
+        out = np.empty((self.horizon, len(nodes)), np.float32)
+        involved = np.unique(self.assignment[nodes])
+        for s in involved:
+            w = self.workers[int(s)]
+            x = self._assemble_from_stores(w)
+            shard_out = self._forward(x[None])[0]
+            mask = self.assignment[nodes] == s
+            out[:, mask] = shard_out[:, nodes[mask], 0]
+        self.requests_served += 1
+        return out
+
+    def to_original_units(self, predictions: np.ndarray) -> np.ndarray:
+        if self.scaler is None:
+            raise RuntimeError("session has no scaler; predictions stay "
+                               "in standardized units")
+        return self.scaler.inverse_transform_channel(predictions[..., 0], 0)
+
+    # ------------------------------------------------------------------
+    def halo_stats(self) -> dict:
+        """Traffic summary: per-shard halo sizes and total halo bytes."""
+        return {
+            "num_shards": self.num_shards,
+            "halo_sizes": [int(len(w.halo)) for w in self.workers],
+            "owned_sizes": [int(len(w.owned)) for w in self.workers],
+            "bytes_by_category": dict(self.comm.stats.bytes_by_category),
+            "ops": self.comm.stats.ops,
+        }

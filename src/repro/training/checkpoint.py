@@ -2,31 +2,58 @@
 
 Long PeMS runs on shared clusters need restartability; this module
 serialises everything to a single ``.npz`` (portable, no pickle of code).
+
+Checkpoints can be **self-describing**: pass ``spec=`` (the
+:class:`~repro.api.spec.RunSpec` that produced the model) and ``scaler=``
+(the fitted :class:`~repro.preprocessing.scaler.StandardScaler`) to
+:func:`save_checkpoint` and the archive carries everything the serving
+layer needs to rebuild the model and standardize live observations —
+``repro.serving.ModelSession.from_checkpoint`` consumes exactly this.
+
+Writes are atomic: the archive is staged through a ``tempfile`` in the
+*target directory* (same filesystem, so the final ``os.replace`` is a
+rename, never a copy) and readers can never observe a half-written file —
+regardless of whether ``path`` already ends in ``.npz``.
 """
 
 from __future__ import annotations
 
 import json
 import os
+import tempfile
 from typing import Any
 
 import numpy as np
 
 from repro.nn.module import Module
 from repro.optim.optimizers import Adam, Optimizer, SGD
+from repro.preprocessing.scaler import StandardScaler
 
 
 def save_checkpoint(path: str, model: Module, optimizer: Optimizer | None = None,
-                    *, epoch: int = 0, extra: dict[str, Any] | None = None) -> None:
-    """Write model parameters (and optimizer slots) to ``path``.
+                    *, epoch: int = 0, extra: dict[str, Any] | None = None,
+                    spec: Any = None,
+                    scaler: StandardScaler | None = None) -> None:
+    """Write model parameters (and optimizer slots) to ``path`` atomically.
 
     ``extra`` must be JSON-serialisable (stored in the archive's metadata).
+    ``spec`` may be a ``RunSpec`` or a plain spec dict; ``scaler`` stores
+    its fitted statistics as float64 arrays.  Both make the checkpoint
+    self-describing for the serving layer.
     """
     arrays: dict[str, np.ndarray] = {}
     for name, p in model.named_parameters():
         arrays[f"param/{name}"] = p.data
+    spec_dict = None
+    if spec is not None:
+        spec_dict = spec if isinstance(spec, dict) else spec.to_dict()
     meta: dict[str, Any] = {"epoch": int(epoch), "extra": extra or {},
-                            "optimizer": None}
+                            "optimizer": None, "spec": spec_dict}
+    if scaler is not None:
+        if not scaler.fitted:
+            raise ValueError("cannot embed an unfitted scaler in a checkpoint")
+        arrays["scaler/mean"] = scaler.mean_
+        arrays["scaler/std"] = scaler.std_
     if optimizer is not None:
         meta["optimizer"] = {"type": type(optimizer).__name__,
                              "lr": optimizer.lr,
@@ -41,17 +68,34 @@ def save_checkpoint(path: str, model: Module, optimizer: Optimizer | None = None
                     arrays[f"sgd_v/{i}"] = optimizer._velocity[i]
     arrays["__meta__"] = np.frombuffer(
         json.dumps(meta).encode("utf-8"), dtype=np.uint8)
-    tmp = path + ".tmp"
-    np.savez(tmp, **arrays)
-    # numpy appends .npz to the temp name.
-    os.replace(tmp + ".npz" if not tmp.endswith(".npz") else tmp, path)
+    # Stage in the destination directory so os.replace is an atomic rename
+    # on the same filesystem.  np.savez writes to the open file object
+    # directly, so it cannot append ".npz" to the temp name behind our back.
+    directory = os.path.dirname(os.path.abspath(path))
+    fd, tmp = tempfile.mkstemp(dir=directory, prefix=".ckpt-", suffix=".tmp")
+    try:
+        with os.fdopen(fd, "wb") as fh:
+            np.savez(fh, **arrays)
+        # mkstemp creates 0600; widen to the umask-respecting default so
+        # the staged rename does not silently tighten checkpoint
+        # permissions (shared-cluster runs read each other's checkpoints).
+        umask = os.umask(0)
+        os.umask(umask)
+        os.chmod(tmp, 0o666 & ~umask)
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
 
 
 def load_checkpoint(path: str, model: Module,
                     optimizer: Optimizer | None = None) -> dict[str, Any]:
     """Restore ``model`` (and ``optimizer``) in place; returns metadata."""
     with np.load(path) as archive:
-        meta = json.loads(bytes(archive["__meta__"]).decode("utf-8"))
+        meta = _meta_from(archive)
         state = {key[len("param/"):]: archive[key]
                  for key in archive.files if key.startswith("param/")}
         model.load_state_dict(state)
@@ -72,3 +116,26 @@ def load_checkpoint(path: str, model: Module,
                 elif isinstance(optimizer, SGD) and f"sgd_v/{i}" in archive:
                     optimizer._velocity[i] = archive[f"sgd_v/{i}"].copy()
     return meta
+
+
+def _meta_from(archive) -> dict[str, Any]:
+    meta = json.loads(bytes(archive["__meta__"]).decode("utf-8"))
+    # Checkpoints written before specs were embedded lack the key entirely.
+    meta.setdefault("spec", None)
+    return meta
+
+
+def read_checkpoint_meta(path: str) -> dict[str, Any]:
+    """Metadata (epoch, extra, optimizer summary, embedded spec dict)
+    without touching any model."""
+    with np.load(path) as archive:
+        return _meta_from(archive)
+
+
+def read_checkpoint_scaler(path: str) -> StandardScaler | None:
+    """The scaler embedded by ``save_checkpoint(..., scaler=...)``, if any."""
+    with np.load(path) as archive:
+        if "scaler/mean" not in archive.files:
+            return None
+        return StandardScaler(mean=archive["scaler/mean"],
+                              std=archive["scaler/std"])

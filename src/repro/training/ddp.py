@@ -31,6 +31,7 @@ import numpy as np
 from repro.autograd.grad_mode import no_grad
 from repro.autograd.tensor import Tensor
 from repro.batching.protocols import ensure_batch_source
+from repro.nn.module import assert_inference_mode
 from repro.batching.samplers import (
     BatchShuffleSampler,
     GlobalShuffleSampler,
@@ -219,6 +220,7 @@ class DDPTrainer:
         bounds = np.linspace(0, n, self.world_size + 1).astype(int)
         partials = []
         with no_grad():
+            assert_inference_mode(self.model)
             for rank in range(self.world_size):
                 sel = np.arange(bounds[rank], bounds[rank + 1])
                 if len(sel) == 0:

@@ -20,6 +20,7 @@ from repro.batching.protocols import BatchSource, ensure_batch_source
 from repro.batching.samplers import Sampler, GlobalShuffleSampler
 from repro.models.base import STModel
 from repro.models.dcrnn import DCRNN
+from repro.nn.module import assert_inference_mode
 from repro.optim.losses import l1_loss
 from repro.optim.optimizers import Optimizer, clip_grad_norm
 from repro.preprocessing.scaler import StandardScaler
@@ -112,6 +113,7 @@ class Trainer:
         self.model.eval()
         total_abs, total_count = 0.0, 0
         with no_grad():
+            assert_inference_mode(self.model)
             for i, (x, y) in enumerate(loader.batches()):
                 if max_batches is not None and i >= max_batches:
                     break

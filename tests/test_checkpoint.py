@@ -117,3 +117,103 @@ class TestCheckpoint:
                 assert v2 is None
             else:
                 np.testing.assert_array_equal(v1, v2)
+
+
+class TestAtomicWrite:
+    """The save path stages through a tempfile in the target directory and
+    promotes it with one ``os.replace`` — readers never see partial files,
+    and no stray temp files survive, even for ``.npz``-suffixed paths."""
+
+    def test_no_stray_files(self, setup, tmp_path):
+        model = setup()
+        path = str(tmp_path / "model.npz")
+        save_checkpoint(path, model)
+        save_checkpoint(path, model)  # overwrite in place
+        assert sorted(p.name for p in tmp_path.iterdir()) == ["model.npz"]
+
+    def test_failure_leaves_no_temp(self, setup, tmp_path, monkeypatch):
+        import numpy as _np
+        def boom(*a, **k):
+            raise OSError("disk full")
+        monkeypatch.setattr(_np, "savez", boom)
+        with pytest.raises(OSError):
+            save_checkpoint(str(tmp_path / "model.npz"), setup())
+        assert list(tmp_path.iterdir()) == []
+
+    def test_respects_umask(self, setup, tmp_path):
+        """The mkstemp staging must not leak its 0600 mode into the final
+        checkpoint: other ranks on a shared cluster read these files."""
+        import os
+        path = str(tmp_path / "model.npz")
+        old = os.umask(0o022)
+        try:
+            save_checkpoint(path, setup())
+        finally:
+            os.umask(old)
+        assert os.stat(path).st_mode & 0o777 == 0o644
+
+    def test_adam_moment_slots_roundtrip(self, setup, tmp_path):
+        model = setup()
+        opt = Adam(model.parameters(), lr=0.01)
+        _train_steps(model, opt, n=3)
+        path = str(tmp_path / "adam.npz")
+        save_checkpoint(path, model, opt)
+        model2 = setup(seed=9)
+        opt2 = Adam(model2.parameters(), lr=0.2)
+        load_checkpoint(path, model2, opt2)
+        for m1, m2, v1, v2 in zip(opt._m, opt2._m, opt._v, opt2._v):
+            np.testing.assert_array_equal(m1, m2)
+            np.testing.assert_array_equal(v1, v2)
+
+    def test_sgd_velocity_roundtrip_after_atomic_write(self, setup, tmp_path):
+        model = setup()
+        opt = SGD(model.parameters(), lr=0.01, momentum=0.9)
+        _train_steps(model, opt, n=2)
+        path = str(tmp_path / "sgd.npz")
+        save_checkpoint(path, model, opt)
+        opt2 = SGD(setup(seed=7).parameters(), lr=0.5, momentum=0.9)
+        load_checkpoint(path, setup(seed=7), opt2)
+        for v1, v2 in zip(opt._velocity, opt2._velocity):
+            np.testing.assert_array_equal(v1, v2)
+
+
+class TestSelfDescribingCheckpoint:
+    """``spec=`` / ``scaler=`` make a checkpoint the serving layer can
+    reconstruct a full session from."""
+
+    def test_spec_and_scaler_roundtrip(self, setup, tmp_path):
+        from repro.api import RunSpec
+        from repro.preprocessing.scaler import StandardScaler
+        from repro.training.checkpoint import (
+            read_checkpoint_meta, read_checkpoint_scaler)
+        model = setup()
+        spec = RunSpec(dataset="pems-bay", model="pgt-dcrnn", scale="tiny")
+        scaler = StandardScaler().fit(
+            np.random.default_rng(0).normal(50, 10, size=(100, 2)))
+        path = str(tmp_path / "full.npz")
+        save_checkpoint(path, model, spec=spec, scaler=scaler)
+        meta = read_checkpoint_meta(path)
+        assert RunSpec.from_dict(meta["spec"]) == spec
+        restored = read_checkpoint_scaler(path)
+        np.testing.assert_array_equal(restored.mean_, scaler.mean_)
+        np.testing.assert_array_equal(restored.std_, scaler.std_)
+
+    def test_plain_dict_spec_accepted(self, setup, tmp_path):
+        path = str(tmp_path / "dict.npz")
+        save_checkpoint(path, setup(), spec={"dataset": "pems-bay"})
+        from repro.training.checkpoint import read_checkpoint_meta
+        assert read_checkpoint_meta(path)["spec"] == {"dataset": "pems-bay"}
+
+    def test_legacy_checkpoint_defaults(self, setup, tmp_path):
+        from repro.training.checkpoint import (
+            read_checkpoint_meta, read_checkpoint_scaler)
+        path = str(tmp_path / "legacy.npz")
+        save_checkpoint(path, setup())
+        assert read_checkpoint_meta(path)["spec"] is None
+        assert read_checkpoint_scaler(path) is None
+
+    def test_unfitted_scaler_rejected(self, setup, tmp_path):
+        from repro.preprocessing.scaler import StandardScaler
+        with pytest.raises(ValueError, match="unfitted"):
+            save_checkpoint(str(tmp_path / "x.npz"), setup(),
+                            scaler=StandardScaler())

@@ -23,6 +23,7 @@ EXAMPLE_ARGS = {
     "memory_comparison": dict(nodes=8, entries=200),
     "dynamic_graphs": dict(nodes=10, entries=300, epochs=1, horizon=4),
     "scaling_study": dict(epochs=5),
+    "online_serving": dict(scale="tiny", epochs=1, requests=40, shards=2),
 }
 
 TIMEOUT_SECONDS = 120
