@@ -3,7 +3,7 @@
 
 PY := PYTHONPATH=src python
 
-.PHONY: test bench bench-quick bench-diff serve-bench serve-bench-quick serve-bench-diff
+.PHONY: test bench bench-quick bench-diff serve-bench serve-bench-quick serve-bench-diff dist-bench dist-bench-quick dist-bench-diff
 
 test:                       ## tier-1: full unit + benchmark-shape suite
 	$(PY) -m pytest -x -q
@@ -27,3 +27,13 @@ serve-bench-quick:          ## CI smoke: tiny serving suite to /tmp
 # usage: make serve-bench-diff OLD=BENCH_3.json NEW=BENCH_4.json
 serve-bench-diff:
 	$(PY) -m benchmarks.serve_bench --diff $(OLD) $(NEW)
+
+dist-bench:                 ## merge a distributed section into the newest BENCH_<n>.json
+	$(PY) -m benchmarks.dist_bench --fail-on-regression $(if $(OUT),--out $(OUT))
+
+dist-bench-quick:           ## CI smoke: tiny distributed suite to /tmp
+	$(PY) -m benchmarks.dist_bench --quick --fail-on-regression --out /tmp/bench-dist.json
+
+# usage: make dist-bench-diff OLD=BENCH_3.json NEW=BENCH_4.json
+dist-bench-diff:
+	$(PY) -m benchmarks.dist_bench --diff $(OLD) $(NEW)

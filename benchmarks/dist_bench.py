@@ -1,0 +1,358 @@
+"""Distributed-runtime benchmark: bucketing + threaded ranks for BENCH JSONs.
+
+Measures the two wins the ``repro.runtime`` layer claims and merges them
+as a ``"distributed"`` section into a ``BENCH_<n>.json`` snapshot (see
+``benchmarks/README.md`` for the schema)::
+
+    # merge into the newest existing snapshot (or create BENCH_1.json)
+    python -m benchmarks.dist_bench
+
+    # explicit target / CI smoke mode
+    python -m benchmarks.dist_bench --out BENCH_4.json
+    python -m benchmarks.dist_bench --quick --out /tmp/dist.json
+
+    # compare the distributed sections of two snapshots / gate a claim
+    python -m benchmarks.dist_bench --diff BENCH_3.json BENCH_4.json
+    python -m benchmarks.dist_bench --fail-on-regression 1.5
+
+Scenarios:
+
+- ``allreduce_bucketed_w4`` — per-tensor vs bucketed gradient all-reduce
+  on the simulated fabric: one all-reduce per parameter tensor pays the
+  ring latency term once per tensor, the bucketer pays it once per
+  bucket.  Simulated seconds are deterministic; wall seconds of the
+  in-process data movement ride along.
+- ``thread_scaling_w4`` — fixed-seed world-4 ``DDPTrainer`` training
+  (per-rank replicas) on ``ThreadTransport``, parallel vs sequential
+  rank execution, measured in wall-clock optimizer steps/sec.  The
+  fixed-seed loss curves of both runs must match bitwise (that is the
+  parity gate); the achievable speedup is bounded by ``cores``, which
+  the section records — on a single-core machine parallel ranks can
+  only tie, so ``--fail-on-regression`` applies the speedup threshold
+  when more than one core is available and otherwise only checks parity
+  and the bucketing win.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import re
+import time
+from pathlib import Path
+
+import numpy as np
+
+DIST_SCHEMA = "repro-dist/v1"
+
+#: Fixed seed — part of the benchmark definition.
+SEED = 0
+
+#: Default threshold for the threaded-ranks speedup gate (multi-core).
+THREAD_SPEEDUP_FLOOR = 1.5
+
+
+def _cores() -> int:
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # non-Linux
+        return os.cpu_count() or 1
+
+
+# ---------------------------------------------------------------------------
+# Scenario 1: per-tensor vs bucketed all-reduce (simulated gradient time)
+# ---------------------------------------------------------------------------
+def bench_allreduce(*, world: int = 4, quick: bool = False) -> dict:
+    from repro.api.builders import ModelContext
+    from repro.api.registry import MODELS
+    from repro.datasets import load_dataset
+    from repro.runtime import GradientBucketer, ProcessGroup
+
+    ds = load_dataset("pems-bay", nodes=32 if quick else 64,
+                      entries=300, seed=SEED)
+    ctx = ModelContext(graph=ds.graph, horizon=4, in_features=2,
+                       hidden_dim=32 if quick else 64, seed=SEED)
+    model = MODELS.get("dcrnn")(ctx)  # many parameter tensors (enc+dec)
+    params = [p for p in model.parameters() if p.requires_grad]
+    rng = np.random.default_rng(SEED)
+    for p in params:
+        p.grad = rng.standard_normal(p.data.shape).astype(p.data.dtype)
+    steps = 3 if quick else 10
+
+    # Per-tensor: one all-reduce per parameter, every step.
+    pg_tensor = ProcessGroup.sim(world)
+    t0 = time.perf_counter()
+    for _ in range(steps):
+        for p in params:
+            pg_tensor.allreduce([p.grad] * world, category="gradient")
+    per_tensor_wall = time.perf_counter() - t0
+
+    # Bucketed: pack once per rank, one all-reduce per bucket.
+    bucketer = GradientBucketer(params)
+    bufs = [bucketer.make_buffers() for _ in range(world)]
+    pg_bucket = ProcessGroup.sim(world)
+    t0 = time.perf_counter()
+    for _ in range(steps):
+        for r in range(world):
+            bucketer.pack(params, bufs[r])
+        for b in range(bucketer.num_buckets):
+            pg_bucket.allreduce([bufs[r][b] for r in range(world)],
+                                category="gradient")
+    bucketed_wall = time.perf_counter() - t0
+
+    per_tensor_sim = pg_tensor.now
+    bucketed_sim = pg_bucket.now
+    assert (pg_tensor.stats.bytes_by_category["gradient"]
+            == pg_bucket.stats.bytes_by_category["gradient"])
+    return {
+        "world": world,
+        "steps": steps,
+        "num_tensors": len(params),
+        "buckets": bucketer.num_buckets,
+        "gradient_mb": bucketer.total_bytes / (1 << 20),
+        "per_tensor_sim_seconds": per_tensor_sim,
+        "bucketed_sim_seconds": bucketed_sim,
+        "sim_speedup": (per_tensor_sim / bucketed_sim
+                        if bucketed_sim else float("inf")),
+        "per_tensor_wall_seconds": per_tensor_wall,
+        "bucketed_wall_seconds": bucketed_wall,
+        "wall_speedup": (per_tensor_wall / bucketed_wall
+                         if bucketed_wall else float("inf")),
+    }
+
+
+# ---------------------------------------------------------------------------
+# Scenario 2: threaded vs sequential rank execution (wall clock)
+# ---------------------------------------------------------------------------
+def _train_threaded(parallel: bool, *, world: int, epochs: int,
+                    nodes: int, hidden: int, batch: int
+                    ) -> tuple[float, int, list[float]]:
+    """One fixed-seed DDP run; returns (seconds, global steps, curve)."""
+    from repro.batching import IndexBatchLoader
+    from repro.datasets import load_dataset
+    from repro.graph import dual_random_walk_supports
+    from repro.models import PGTDCRNN
+    from repro.optim import Adam
+    from repro.preprocessing import IndexDataset
+    from repro.runtime import ProcessGroup
+    from repro.training import DDPStrategy, DDPTrainer
+
+    ds = load_dataset("pems-bay", nodes=nodes, entries=40 * batch + 40,
+                      seed=SEED)
+    idx = IndexDataset.from_dataset(ds, horizon=4)
+    supports = dual_random_walk_supports(ds.graph.weights)
+
+    def factory():
+        return PGTDCRNN(supports, horizon=4, in_features=2,
+                        hidden_dim=hidden, seed=SEED)
+
+    model = factory()
+    opt = Adam(model.parameters(), lr=0.01)
+    tr = DDPTrainer(model, opt, ProcessGroup.threads(world,
+                                                     parallel=parallel),
+                    IndexBatchLoader(idx, "train", batch),
+                    strategy=DDPStrategy.DIST_INDEX, seed=SEED,
+                    model_factory=factory)
+    steps = min(len(b) for b in tr.sampler.epoch_plan(0)) * epochs
+    t0 = time.perf_counter()
+    hist = tr.fit(epochs)
+    seconds = time.perf_counter() - t0
+    return seconds, steps, [h.train_loss for h in hist]
+
+
+def bench_thread_scaling(*, world: int = 4, quick: bool = False) -> dict:
+    kw = dict(world=world, epochs=1 if quick else 2,
+              nodes=16 if quick else 48, hidden=16 if quick else 48,
+              batch=8 if quick else 16)
+    seq_seconds, steps, seq_curve = _train_threaded(False, **kw)
+    par_seconds, _, par_curve = _train_threaded(True, **kw)
+    return {
+        "world": world,
+        "cores": _cores(),
+        "steps": steps,
+        "nodes": kw["nodes"],
+        "hidden": kw["hidden"],
+        "batch": kw["batch"],
+        "seq_steps_per_sec": steps / seq_seconds if seq_seconds else 0.0,
+        "thread_steps_per_sec": steps / par_seconds if par_seconds else 0.0,
+        "wall_speedup": (seq_seconds / par_seconds
+                         if par_seconds else float("inf")),
+        "curve_bitwise_equal": bool(seq_curve == par_curve),
+        "train_curve": par_curve,
+    }
+
+
+def collect_distributed(*, quick: bool = False, label: str = "") -> dict:
+    """Measure the distributed scenario suite; returns the section dict."""
+    scenarios = {
+        "allreduce_bucketed_w4": bench_allreduce(quick=quick),
+        "thread_scaling_w4": bench_thread_scaling(quick=quick),
+    }
+    return {
+        "schema": DIST_SCHEMA,
+        "label": label,
+        "created": time.strftime("%Y-%m-%dT%H:%M:%S"),
+        "config": {"seed": SEED, "quick": bool(quick), "cores": _cores()},
+        "scenarios": scenarios,
+    }
+
+
+# ---------------------------------------------------------------------------
+# Snapshot plumbing (shared conventions with serve_bench)
+# ---------------------------------------------------------------------------
+def validate_distributed(section: dict) -> None:
+    """Raise ``ValueError`` unless ``section`` is a valid dist section."""
+    if not isinstance(section, dict) or section.get("schema") != DIST_SCHEMA:
+        raise ValueError(f"not a {DIST_SCHEMA} distributed section")
+    for key in ("created", "config", "scenarios"):
+        if key not in section:
+            raise ValueError(f"distributed section missing {key!r}")
+    scen = section["scenarios"]
+    for field in ("per_tensor_sim_seconds", "bucketed_sim_seconds",
+                  "sim_speedup", "buckets", "num_tensors"):
+        if field not in scen.get("allreduce_bucketed_w4", {}):
+            raise ValueError(f"allreduce scenario missing {field!r}")
+    for field in ("cores", "seq_steps_per_sec", "thread_steps_per_sec",
+                  "wall_speedup", "curve_bitwise_equal"):
+        if field not in scen.get("thread_scaling_w4", {}):
+            raise ValueError(f"thread scenario missing {field!r}")
+
+
+def merge_into_snapshot(section: dict, path: str | Path) -> Path:
+    """Write ``section`` as the ``distributed`` key of the snapshot,
+    creating a minimal (micro/training-empty) snapshot if none exists."""
+    from repro.profiling.bench import load_or_init_snapshot
+
+    validate_distributed(section)
+    path = Path(path)
+    data = load_or_init_snapshot(path, label=section.get("label", ""),
+                                 created=section["created"])
+    data["distributed"] = section
+    path.write_text(json.dumps(data, indent=2, sort_keys=False) + "\n")
+    return path
+
+
+def default_target(root: str | Path = ".") -> Path:
+    from benchmarks.serve_bench import default_target as _default
+    return _default(root)
+
+
+# ---------------------------------------------------------------------------
+# Diffing / gating
+# ---------------------------------------------------------------------------
+def check_regression(section: dict, threshold: float) -> list[str]:
+    """Failure messages for the section's own gates (empty = green).
+
+    The thread-speedup threshold only applies to full-mode sections on
+    multi-core machines: quick-mode workloads are too small to saturate
+    cores, and a single core bounds the speedup at 1.0 by construction.
+    Parity and the bucketing win are gated in every mode.
+    """
+    validate_distributed(section)
+    failures = []
+    ar = section["scenarios"]["allreduce_bucketed_w4"]
+    if ar["sim_speedup"] <= 1.0:
+        failures.append(
+            f"bucketed all-reduce does not beat per-tensor on simulated "
+            f"gradient time (x{ar['sim_speedup']:.2f})")
+    th = section["scenarios"]["thread_scaling_w4"]
+    if not th["curve_bitwise_equal"]:
+        failures.append("threaded ranks diverged from sequential execution "
+                        "(fixed-seed curves differ)")
+    if (th["cores"] >= 2 and not section["config"].get("quick")
+            and th["wall_speedup"] < threshold):
+        failures.append(
+            f"thread speedup x{th['wall_speedup']:.2f} below x{threshold} "
+            f"on {th['cores']} cores")
+    return failures
+
+
+def diff_distributed(old: dict, new: dict) -> dict:
+    """Scenario-metric ratios between two snapshots (``>1`` = new better)."""
+    for d in (old, new):
+        if "distributed" not in d:
+            raise ValueError("snapshot has no distributed section")
+        validate_distributed(d["distributed"])
+    o = old["distributed"]["scenarios"]
+    n = new["distributed"]["scenarios"]
+    oa, na = o["allreduce_bucketed_w4"], n["allreduce_bucketed_w4"]
+    ot, nt = o["thread_scaling_w4"], n["thread_scaling_w4"]
+    return {
+        "allreduce_sim_speedup": {"old": oa["sim_speedup"],
+                                  "new": na["sim_speedup"]},
+        "thread_steps_per_sec": {
+            "old": ot["thread_steps_per_sec"],
+            "new": nt["thread_steps_per_sec"],
+            "ratio": (nt["thread_steps_per_sec"] / ot["thread_steps_per_sec"]
+                      if ot["thread_steps_per_sec"] else float("inf"))},
+    }
+
+
+def _format_section(section: dict) -> str:
+    ar = section["scenarios"]["allreduce_bucketed_w4"]
+    th = section["scenarios"]["thread_scaling_w4"]
+    return "\n".join([
+        f"distributed suite ({'quick' if section['config']['quick'] else 'full'})",
+        f"  allreduce_bucketed_w4: {ar['num_tensors']} tensors -> "
+        f"{ar['buckets']} bucket(s), sim {ar['per_tensor_sim_seconds'] * 1e3:.3f}"
+        f" -> {ar['bucketed_sim_seconds'] * 1e3:.3f} ms  "
+        f"x{ar['sim_speedup']:.2f} (wall x{ar['wall_speedup']:.2f})",
+        f"  thread_scaling_w4: {th['seq_steps_per_sec']:.1f} -> "
+        f"{th['thread_steps_per_sec']:.1f} steps/s  "
+        f"x{th['wall_speedup']:.2f} on {th['cores']} core(s), "
+        f"parity {'OK' if th['curve_bitwise_equal'] else 'BROKEN'}",
+    ])
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="dist_bench", description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter)
+    parser.add_argument("--quick", action="store_true",
+                        help="fast smoke mode: tiny workloads")
+    parser.add_argument("--out", type=Path, default=None,
+                        help="snapshot to merge the distributed section "
+                             "into (default: newest BENCH_<n>.json here)")
+    parser.add_argument("--label", default="",
+                        help="free-form note recorded in the section")
+    parser.add_argument("--diff", nargs=2, metavar=("OLD", "NEW"),
+                        help="compare two snapshots' distributed sections")
+    parser.add_argument("--fail-on-regression", nargs="?", type=float,
+                        const=THREAD_SPEEDUP_FLOOR, default=None,
+                        metavar="SPEEDUP",
+                        help="exit 1 unless bucketing wins, parity holds, "
+                             "and (multi-core only) the thread speedup "
+                             f"reaches SPEEDUP (default "
+                             f"{THREAD_SPEEDUP_FLOOR})")
+    args = parser.parse_args(argv)
+
+    if args.diff:
+        old = json.loads(Path(args.diff[0]).read_text())
+        new = json.loads(Path(args.diff[1]).read_text())
+        diff = diff_distributed(old, new)
+        for name, d in diff.items():
+            line = f"  {name}: {d['old']:.2f} -> {d['new']:.2f}"
+            if "ratio" in d:
+                line += f"  x{d['ratio']:.2f}"
+            print(line)
+        return 0
+
+    section = collect_distributed(quick=args.quick, label=args.label)
+    print(_format_section(section))
+    target = args.out if args.out is not None else default_target()
+    merge_into_snapshot(section, target)
+    print(f"merged distributed section into {target}")
+    if args.fail_on_regression is not None:
+        failures = check_regression(section, args.fail_on_regression)
+        for f in failures:
+            print(f"REGRESSION: {f}")
+        if failures:
+            return 1
+        print(f"regression gate green (threshold "
+              f"x{args.fail_on_regression:.2f})")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -122,29 +122,12 @@ def validate_serving(section: dict) -> None:
 def merge_into_snapshot(section: dict, path: str | Path) -> Path:
     """Write ``section`` as the ``serving`` key of the snapshot at ``path``,
     creating a minimal (micro/training-empty) snapshot if none exists."""
-    from repro.profiling.bench import SCHEMA, validate_snapshot
+    from repro.profiling.bench import load_or_init_snapshot
 
     validate_serving(section)
     path = Path(path)
-    if path.exists():
-        data = json.loads(path.read_text())
-        validate_snapshot(data)
-    else:
-        import platform
-        import scipy
-        data = {
-            "schema": SCHEMA,
-            "label": section.get("label", ""),
-            "created": section["created"],
-            "platform": {
-                "python": platform.python_version(),
-                "numpy": np.__version__,
-                "scipy": scipy.__version__,
-                "machine": platform.machine(),
-            },
-            "micro": [],
-            "training": {},
-        }
+    data = load_or_init_snapshot(path, label=section.get("label", ""),
+                                 created=section["created"])
     data["serving"] = section
     path.write_text(json.dumps(data, indent=2, sort_keys=False) + "\n")
     return path

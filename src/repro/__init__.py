@@ -13,8 +13,10 @@ library.  It provides:
   and the paper's index-batching datasets, with a byte-exact memory model.
 - ``repro.hardware`` / ``repro.cluster``: a simulated HPC substrate (devices,
   memory spaces, interconnects) modeled on ALCF Polaris.
-- ``repro.distributed``: an MPI-style multi-rank communicator with simulated
-  time and byte accounting.
+- ``repro.runtime``: the distributed execution layer — pluggable transports
+  (simulated ranks or real threads), one collectives implementation,
+  gradient bucketing and the ``ProcessGroup`` facade (``repro.distributed``
+  remains as a deprecated shim over it).
 - ``repro.models``: DCRNN, PGT-DCRNN, TGCN, A3T-GCN and ST-LLM.
 - ``repro.training``: single-device and DDP trainers implementing
   index-batching, GPU-index-batching, distributed-index-batching and

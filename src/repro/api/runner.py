@@ -19,8 +19,8 @@ from repro.api.builders import LoaderBundle, ModelContext, default_in_features
 from repro.api.registry import BATCHINGS, DATASETS, MODELS, OPTIMIZERS
 from repro.api.scales import Scale, get_scale
 from repro.api.spec import RunSpec
-from repro.distributed.comm import SimCommunicator
 from repro.hardware.memory import MemorySpace
+from repro.runtime import ProcessGroup
 from repro.training.ddp import DDPStrategy, DDPTrainer
 from repro.training.trainer import Trainer
 
@@ -142,11 +142,20 @@ def run(spec: RunSpec, *, scale: Scale | None = None,
                           scaler=bundle.scaler, seed=spec.seed)
         history = trainer.fit(epochs, verbose=verbose)
     else:
+        # The transport decides rank execution: 'sim' keeps sequential
+        # ranks with simulated cost accounting; 'thread' runs one real
+        # thread per rank on per-rank replicas (the model builder is
+        # deterministic in the seed, so replicas initialise identically).
+        if spec.transport == "thread":
+            pg = ProcessGroup.threads(spec.world_size)
+            factory = lambda: MODELS.get(spec.model)(ctx)  # noqa: E731
+        else:
+            pg = ProcessGroup.sim(spec.world_size)
+            factory = None
         trainer = DDPTrainer(
-            model, optimizer, SimCommunicator(spec.world_size),
-            bundle.train, bundle.val,
+            model, optimizer, pg, bundle.train, bundle.val,
             strategy=_DDP_STRATEGIES[spec.strategy], shuffle=spec.shuffle,
-            scaler=bundle.scaler, seed=spec.seed)
+            scaler=bundle.scaler, seed=spec.seed, model_factory=factory)
         history = trainer.fit(epochs, verbose=verbose)
     runtime = time.perf_counter() - t0
 

@@ -31,6 +31,11 @@ STRATEGIES = ("single", "baseline-ddp", "dist-index", "generalized-index")
 #: Shuffle modes accepted by the DDP sampler layer.
 SHUFFLES = ("global", "local", "batch")
 
+#: Rank-execution transports for distributed strategies: ``sim`` runs
+#: ranks sequentially with simulated time and byte accounting;
+#: ``thread`` runs one real thread per rank (measured wall time).
+TRANSPORTS = ("sim", "thread")
+
 
 @dataclass(frozen=True)
 class RunSpec:
@@ -48,9 +53,13 @@ class RunSpec:
         optimizer learning rate.
     strategy:
         one of :data:`STRATEGIES`; non-``single`` strategies train over
-        ``world_size`` simulated ranks.
+        ``world_size`` ranks.
     world_size:
-        simulated rank count (must be 1 for ``single``).
+        rank count (must be 1 for ``single``).
+    transport:
+        one of :data:`TRANSPORTS`; how distributed ranks execute
+        (``sim`` = sequential + simulated cost accounting, ``thread`` =
+        one real thread per rank).  Must stay ``sim`` for ``single``.
     shuffle:
         DDP shuffle mode override (``None`` = the strategy's default).
     epochs:
@@ -68,6 +77,7 @@ class RunSpec:
     world_size: int = 1
     shuffle: str | None = None
     epochs: int | None = None
+    transport: str = "sim"
 
     # ------------------------------------------------------------------
     def __post_init__(self):
@@ -105,6 +115,12 @@ class RunSpec:
             raise ValueError(f"epochs must be >= 1, got {self.epochs}")
         if self.lr <= 0:
             raise ValueError(f"lr must be positive, got {self.lr}")
+        if self.transport not in TRANSPORTS:
+            raise ValueError(f"transport must be one of {TRANSPORTS}, "
+                             f"got {self.transport!r}")
+        if self.strategy == "single" and self.transport != "sim":
+            raise ValueError("strategy 'single' has no rank execution to "
+                             "distribute; transport must stay 'sim'")
 
     # ------------------------------------------------------------------
     def to_dict(self) -> dict:

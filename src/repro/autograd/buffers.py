@@ -27,10 +27,18 @@ class ArrayPool:
         self._store: dict[tuple, list[np.ndarray]] = {}
 
     def take(self, shape: tuple[int, ...], dtype: np.dtype) -> np.ndarray | None:
-        """Pop a cached array of this shape/dtype, or None (contents stale)."""
+        """Pop a cached array of this shape/dtype, or None (contents stale).
+
+        Safe under concurrent rank threads: ``list.pop``/``append`` are
+        atomic in CPython, and a race that empties the bucket between
+        the check and the pop simply reports a miss.
+        """
         bucket = self._store.get((shape, np.dtype(dtype).str))
         if bucket:
-            return bucket.pop()
+            try:
+                return bucket.pop()
+            except IndexError:
+                return None
         return None
 
     def give(self, arr: np.ndarray) -> None:

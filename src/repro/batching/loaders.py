@@ -105,6 +105,17 @@ class StandardBatchLoader:
     def batch_at(self, sel: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
         return self._take(np.asarray(sel))
 
+    def clone(self) -> "StandardBatchLoader":
+        """A loader over the same window stacks with its own buffers.
+
+        Shares the (read-only) data arrays; rank threads each clone so
+        their persistent batch buffers never alias.
+        """
+        other = object.__new__(StandardBatchLoader)
+        other.__dict__.update(self.__dict__)
+        other._xb = other._yb = None
+        return other
+
 
 class IndexBatchLoader:
     """Iterate over an :class:`IndexDataset` split via runtime gathering.
@@ -167,3 +178,10 @@ class IndexBatchLoader:
     def batch_at(self, sel: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
         """Batch for split-local snapshot indices ``sel``."""
         return self._gather(self.starts[np.asarray(sel)])
+
+    def clone(self) -> "IndexBatchLoader":
+        """A loader over the same :class:`IndexDataset` with its own
+        gather buffers (the dataset's single data copy stays shared)."""
+        return IndexBatchLoader(self.ds, self.split, self.batch_size,
+                                dtype=self.dtype,
+                                reuse_buffers=self.reuse_buffers)

@@ -64,6 +64,17 @@ class CommCostModel:
         return (2 * (p - 1) * self._alpha()
                 + 2 * (p - 1) / p * nbytes / self._beta())
 
+    def reduce_scatter_time(self, nbytes: int) -> float:
+        """Ring reduce-scatter: ``(p-1) alpha + (p-1)/p n/beta``.
+
+        Exactly half an allreduce — the ring algorithm's first phase.
+        """
+        p = self.topology.world_size
+        if p == 1 or nbytes == 0:
+            return 0.0
+        return ((p - 1) * self._alpha()
+                + (p - 1) / p * nbytes / self._beta())
+
     def broadcast_time(self, nbytes: int) -> float:
         """Binomial-tree broadcast: ``ceil(log2 p) (alpha + n/beta)``."""
         p = self.topology.world_size

@@ -1,5 +1,10 @@
-"""In-process multi-rank communicator with simulated time and byte accounting."""
+"""Deprecated package: the communicator now lives in :mod:`repro.runtime`.
+
+``SimCommunicator`` is a thin shim over ``ProcessGroup.sim``; import
+:class:`~repro.runtime.process_group.ProcessGroup` for new code.
+"""
 
 from repro.distributed.comm import CommStats, SimCommunicator
+from repro.runtime import ProcessGroup
 
-__all__ = ["SimCommunicator", "CommStats"]
+__all__ = ["SimCommunicator", "CommStats", "ProcessGroup"]

@@ -1,186 +1,64 @@
-"""The simulated communicator: MPI-style collectives over in-process ranks.
+"""Deprecated shim: ``SimCommunicator`` over the :mod:`repro.runtime` layer.
 
-Real distributed runtimes (Dask-DDP in the paper, MPI elsewhere) run one
-process per rank; here all ranks live in one process and the communicator
-performs the *data movement semantics* (averaging, broadcasting,
-gathering) exactly, while charging *simulated time* from the cluster cost
-model and counting bytes per traffic category.  Time is tracked on one
-:class:`~repro.profiling.clock.SimClock` per rank; a collective
-synchronises every participant to ``max(rank clocks) + op_time``, which is
-precisely the straggler semantics of a blocking collective.
+The simulated communicator used to implement MPI-style collectives, cost
+accounting and clock synchronisation in one class.  All of that now
+lives in :mod:`repro.runtime` — :class:`~repro.runtime.transport.
+SimTransport` carries the clocks and cost models, :mod:`repro.runtime.
+collectives` implements the data movement once for every transport, and
+:class:`~repro.runtime.process_group.ProcessGroup` is the facade the
+trainers and serving shards consume.
 
-Traffic categories let the experiment harness split runtime the way
-Figures 7 and 9 do: ``"gradient"`` (DDP all-reduce), ``"data"``
-(on-demand batch fetches), ``"metric"`` (validation all-reduce).
+:class:`SimCommunicator` remains as a thin constructor so existing
+experiments keep passing: ``SimCommunicator(world)`` is exactly
+``ProcessGroup.sim(world)`` plus the legacy attribute surface
+(``clocks`` / ``cost`` / ``topology`` / ``compute_time`` /
+``comm_time``).  New code should build a :class:`ProcessGroup` directly.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-
-import numpy as np
+import warnings
 
 from repro.cluster.costmodel import CommCostModel
-from repro.cluster.topology import ClusterTopology
-from repro.profiling.clock import SimClock
-from repro.utils.errors import CommunicatorError
+from repro.runtime.process_group import ProcessGroup
+from repro.runtime.transport import CommStats, SimTransport
+
+__all__ = ["SimCommunicator", "CommStats"]
 
 
-@dataclass
-class CommStats:
-    """Aggregate traffic accounting, by category."""
+class SimCommunicator(ProcessGroup):
+    """Deprecated alias for ``ProcessGroup.sim(world_size, cost_model)``.
 
-    bytes_by_category: dict[str, int] = field(default_factory=dict)
-    time_by_category: dict[str, float] = field(default_factory=dict)
-    ops: int = 0
-
-    def record(self, category: str, nbytes: int, seconds: float) -> None:
-        self.bytes_by_category[category] = (
-            self.bytes_by_category.get(category, 0) + int(nbytes))
-        self.time_by_category[category] = (
-            self.time_by_category.get(category, 0.0) + float(seconds))
-        self.ops += 1
-
-    def total_bytes(self) -> int:
-        return sum(self.bytes_by_category.values())
-
-
-class SimCommunicator:
-    """World of ``world_size`` ranks sharing a cost model.
-
-    Collective arguments are *lists indexed by rank* (the in-process
-    equivalent of each rank passing its local buffer).
+    Collective arguments are *lists indexed by rank*, as before; all
+    behaviour (simulated time, byte accounting, straggler semantics) is
+    inherited unchanged from the runtime layer.
     """
 
-    def __init__(self, world_size: int, cost_model: CommCostModel | None = None):
-        if world_size < 1:
-            raise ValueError("world_size must be >= 1")
-        self.world_size = world_size
-        self.topology = (cost_model.topology if cost_model is not None
-                         else ClusterTopology(world_size))
-        if self.topology.world_size != world_size:
-            raise CommunicatorError("cost model topology does not match world size")
-        self.cost = cost_model or CommCostModel(self.topology)
-        self.clocks = [SimClock() for _ in range(world_size)]
-        self.stats = CommStats()
-        # Per-rank cumulative time attribution.
-        self.compute_time = np.zeros(world_size)
-        self.comm_time = np.zeros(world_size)
+    def __init__(self, world_size: int,
+                 cost_model: CommCostModel | None = None):
+        warnings.warn(
+            "SimCommunicator is deprecated; use "
+            "repro.runtime.ProcessGroup.sim(world_size) instead",
+            DeprecationWarning, stacklevel=2)
+        super().__init__(SimTransport(world_size, cost_model))
 
-    # ------------------------------------------------------------------
-    # Local (compute) time
-    # ------------------------------------------------------------------
-    def advance_compute(self, rank: int, seconds: float) -> None:
-        """Charge local computation to a rank's clock."""
-        self._check_rank(rank)
-        self.clocks[rank].advance(seconds)
-        self.compute_time[rank] += seconds
-
-    def _check_rank(self, rank: int) -> None:
-        if not 0 <= rank < self.world_size:
-            raise CommunicatorError(
-                f"rank {rank} out of range [0, {self.world_size})")
-
-    def _check_world_list(self, values) -> None:
-        if len(values) != self.world_size:
-            raise CommunicatorError(
-                f"expected one value per rank ({self.world_size}), got {len(values)}")
-
-    def _sync_all(self, op_seconds: float, nbytes: int, category: str) -> None:
-        start = max(c.now for c in self.clocks)
-        end = start + op_seconds
-        for r, c in enumerate(self.clocks):
-            self.comm_time[r] += end - c.now
-            c.advance_to(end)
-        self.stats.record(category, nbytes, op_seconds)
-
-    # ------------------------------------------------------------------
-    # Collectives
-    # ------------------------------------------------------------------
-    def allreduce(self, arrays: list[np.ndarray], op: str = "mean",
-                  category: str = "gradient") -> list[np.ndarray]:
-        """Element-wise reduce across ranks; every rank gets the result."""
-        self._check_world_list(arrays)
-        shapes = {a.shape for a in arrays}
-        if len(shapes) != 1:
-            raise CommunicatorError(f"allreduce shape mismatch: {shapes}")
-        if op not in ("mean", "sum", "max"):
-            raise CommunicatorError(f"unsupported op {op!r}")
-        stacked = np.stack(arrays, axis=0)
-        if op == "mean":
-            result = stacked.mean(axis=0)
-        elif op == "sum":
-            result = stacked.sum(axis=0)
-        else:
-            result = stacked.max(axis=0)
-        result = result.astype(arrays[0].dtype, copy=False)
-        nbytes = arrays[0].nbytes
-        self._sync_all(self.cost.allreduce_time(nbytes), nbytes, category)
-        return [result.copy() for _ in range(self.world_size)]
-
-    def broadcast(self, value: np.ndarray, root: int = 0,
-                  category: str = "control") -> list[np.ndarray]:
-        """Send ``value`` from ``root`` to every rank."""
-        self._check_rank(root)
-        arr = np.asarray(value)
-        self._sync_all(self.cost.broadcast_time(arr.nbytes), arr.nbytes, category)
-        return [arr.copy() for _ in range(self.world_size)]
-
-    def allgather(self, arrays: list[np.ndarray],
-                  category: str = "data") -> list[list[np.ndarray]]:
-        """Every rank receives every rank's array."""
-        self._check_world_list(arrays)
-        per = max(a.nbytes for a in arrays)
-        self._sync_all(self.cost.allgather_time(per),
-                       per * self.world_size, category)
-        return [[a.copy() for a in arrays] for _ in range(self.world_size)]
-
-    def barrier(self) -> None:
-        self._sync_all(self.cost.allreduce_time(8), 0, "control")
-
-    # ------------------------------------------------------------------
-    # Data plane
-    # ------------------------------------------------------------------
-    def fetch(self, src: int, dst: int, nbytes: int,
-              category: str = "data") -> None:
-        """On-demand pull of ``nbytes`` from ``src``'s memory to ``dst``.
-
-        Advances both endpoints (the source must serve the request).
-        """
-        self._check_rank(src)
-        self._check_rank(dst)
-        if src == dst or nbytes == 0:
-            return
-        dt = self.cost.p2p_time(nbytes, same_node=self.topology.same_node(src, dst))
-        start = max(self.clocks[src].now, self.clocks[dst].now)
-        end = start + dt
-        for r in (src, dst):
-            self.comm_time[r] += end - self.clocks[r].now
-            self.clocks[r].advance_to(end)
-        self.stats.record(category, nbytes, dt)
-
-    def fetch_all(self, total_bytes: int, messages_per_rank: int,
-                  category: str = "data") -> None:
-        """All ranks fetch concurrently, contending on the shared fabric.
-
-        Used for the per-step batch distribution of baseline DDP, where
-        every worker pulls its batch from wherever Dask placed the chunks.
-        """
-        if total_bytes == 0:
-            return
-        dt = self.cost.contended_fetch_time(total_bytes, messages_per_rank)
-        self._sync_all(dt, total_bytes, category)
-
-    # ------------------------------------------------------------------
+    # -- legacy attribute surface ---------------------------------------
     @property
-    def now(self) -> float:
-        """Simulated wall time of the slowest rank."""
-        return max(c.now for c in self.clocks)
+    def clocks(self):
+        return self.transport.clocks
 
-    def elapsed_breakdown(self) -> dict[str, float]:
-        """Mean per-rank compute/comm split (the Fig. 7/9 bar segments)."""
-        return {
-            "compute": float(self.compute_time.mean()),
-            "comm": float(self.comm_time.mean()),
-            "wall": self.now,
-        }
+    @property
+    def cost(self):
+        return self.transport.cost
+
+    @property
+    def topology(self):
+        return self.transport.topology
+
+    @property
+    def compute_time(self):
+        return self.transport.compute_time
+
+    @property
+    def comm_time(self):
+        return self.transport.comm_time

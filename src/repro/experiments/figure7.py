@@ -1,9 +1,16 @@
 """Figure 7: the scaling study — baseline DDP vs distributed-index-batching
-on PeMS with 4-128 GPUs, split into computation and communication time."""
+on PeMS with 4-128 GPUs, split into computation and communication time.
+
+Communication numbers come from the public ``ProcessGroup.stats``
+traffic-category API (:meth:`TrainingPerfModel.epoch_process_group`):
+each point carries the per-category second/byte breakdown
+(``gradient`` / ``data`` / ``metric``) the simulated fabric recorded,
+the same categories the DDP trainers emit at small scale.
+"""
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 from repro.datasets import get_spec
 from repro.profiling import RunReport
@@ -20,6 +27,10 @@ class ScalingPoint:
     compute_minutes: float
     comm_minutes: float
     preprocess_seconds: float
+    #: per-category communication seconds (gradient / data / metric).
+    comm_seconds_by_category: dict[str, float] = field(default_factory=dict)
+    #: per-category communication bytes for one epoch.
+    comm_bytes_by_category: dict[str, int] = field(default_factory=dict)
 
 
 @dataclass
@@ -50,12 +61,15 @@ def run_figure7(epochs: int = 30, batch_size: int = 64,
         for gpus in gpu_counts:
             run = pm.run(strategy, gpus, epochs, seed=0)
             e = run.epoch
+            stats = pm.epoch_process_group(strategy, gpus).stats
             points.append(ScalingPoint(
                 strategy=strategy, gpus=gpus,
                 total_minutes=run.total_seconds / 60,
                 compute_minutes=epochs * (e.compute + e.h2d + e.validation) / 60,
                 comm_minutes=epochs * (e.comm + e.framework) / 60,
-                preprocess_seconds=run.preprocess_seconds))
+                preprocess_seconds=run.preprocess_seconds,
+                comm_seconds_by_category=dict(stats.time_by_category),
+                comm_bytes_by_category=dict(stats.bytes_by_category)))
     return Figure7Result(
         single_gpu_minutes=single.total_seconds / 60,
         single_gpu_training_minutes=single.training_seconds / 60,

@@ -1,11 +1,15 @@
 """Figure 9: generalized-distributed-index-batching vs batch-shuffling DDP —
 single-epoch runtime on PeMS with computation/communication split, plus the
 aggregate memory comparison the paper quotes (53.28 GB vs 479.66 GB with
-four workers)."""
+four workers).
+
+Communication splits come from the public ``ProcessGroup.stats``
+traffic-category API (gradient / data / metric), like Figure 7.
+"""
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 from repro.datasets import get_spec
 from repro.preprocessing.memory_model import standard_preprocessed_nbytes
@@ -23,6 +27,10 @@ class Figure9Point:
     epoch_seconds: float
     compute_seconds: float
     comm_seconds: float
+    #: per-category communication seconds (gradient / data / metric).
+    comm_seconds_by_category: dict[str, float] = field(default_factory=dict)
+    #: per-category communication bytes for one epoch.
+    comm_bytes_by_category: dict[str, int] = field(default_factory=dict)
 
 
 @dataclass
@@ -63,10 +71,14 @@ def run_figure9(batch_size: int = 64,
                              ("index", "generalized-index")):
         for gpus in gpu_counts:
             e = pm.epoch_breakdown(strategy, gpus, include_validation=False)
+            stats = pm.epoch_process_group(strategy, gpus,
+                                           include_validation=False).stats
             points.append(Figure9Point(
                 method=method, gpus=gpus, epoch_seconds=e.total,
                 compute_seconds=e.compute + e.h2d,
-                comm_seconds=e.comm + e.framework))
+                comm_seconds=e.comm + e.framework,
+                comm_seconds_by_category=dict(stats.time_by_category),
+                comm_bytes_by_category=dict(stats.bytes_by_category)))
     ddp_mem, idx_mem = _aggregate_memory_gb(spec)
     return Figure9Result(points=points, ddp_total_memory_gb=ddp_mem,
                          index_total_memory_gb=idx_mem)

@@ -327,6 +327,36 @@ def validate_snapshot(data: dict) -> None:
                 raise ValueError(f"training entry {key!r} missing {field!r}")
 
 
+def load_or_init_snapshot(path: str | Path, *, label: str = "",
+                          created: str | None = None) -> dict:
+    """The validated snapshot at ``path``, or a fresh minimal skeleton.
+
+    Section benches (serving, distributed) merge into whatever snapshot
+    exists; when none does they need a schema-valid shell with empty
+    ``micro``/``training`` sections — built here once so every bench
+    writes the same shape.
+    """
+    path = Path(path)
+    if path.exists():
+        data = json.loads(path.read_text())
+        validate_snapshot(data)
+        return data
+    import scipy
+    return {
+        "schema": SCHEMA,
+        "label": label,
+        "created": created or time.strftime("%Y-%m-%dT%H:%M:%S"),
+        "platform": {
+            "python": platform.python_version(),
+            "numpy": np.__version__,
+            "scipy": scipy.__version__,
+            "machine": platform.machine(),
+        },
+        "micro": [],
+        "training": {},
+    }
+
+
 def write_snapshot(data: dict, path: str | Path) -> Path:
     validate_snapshot(data)
     path = Path(path)

@@ -1,0 +1,47 @@
+"""Distributed execution runtime: transports, collectives, process groups.
+
+Layering (bottom up):
+
+- :mod:`repro.runtime.transport` — where ranks run and what
+  communication costs (``SimTransport`` / ``ThreadTransport``).
+- :mod:`repro.runtime.collectives` — ring/tree collectives implemented
+  once against the :class:`Transport` protocol.
+- :mod:`repro.runtime.buckets` — gradient bucketing for DDP all-reduce.
+- :mod:`repro.runtime.process_group` — the :class:`ProcessGroup` facade
+  trainers, serving and the performance model consume.
+"""
+
+from repro.runtime.buckets import BucketLayout, BucketSlot, GradientBucketer
+from repro.runtime.collectives import (
+    all_gather,
+    all_reduce,
+    barrier,
+    broadcast,
+    point_to_point,
+    reduce_scatter,
+)
+from repro.runtime.process_group import ProcessGroup, as_process_group
+from repro.runtime.transport import (
+    CommStats,
+    SimTransport,
+    ThreadTransport,
+    Transport,
+)
+
+__all__ = [
+    "Transport",
+    "SimTransport",
+    "ThreadTransport",
+    "CommStats",
+    "ProcessGroup",
+    "as_process_group",
+    "GradientBucketer",
+    "BucketLayout",
+    "BucketSlot",
+    "all_reduce",
+    "reduce_scatter",
+    "all_gather",
+    "broadcast",
+    "point_to_point",
+    "barrier",
+]

@@ -1,0 +1,166 @@
+"""Gradient bucketing: few large all-reduces instead of one per tensor.
+
+DDP's gradient synchronisation cost has a per-operation latency term
+(``2(p-1)·alpha`` for a ring all-reduce), so reducing each of a model's
+dozens of parameter tensors individually pays that latency dozens of
+times per step.  :class:`GradientBucketer` flattens parameter gradients
+into persistent ``bucket_cap_mb``-capped flat buffers — the PR-2 buffer
+discipline applied to communication — so a step issues one all-reduce
+per bucket.
+
+Buckets are laid out in **ready order**: reverse parameter-registration
+order, which is the order backpropagation produces gradients (outputs
+first), the same fusion heuristic PyTorch DDP uses.  Parameters are
+grouped by dtype first (a bucket is one homogeneous flat array), so
+bucketing is dtype-preserving end to end.
+
+Packing/unpacking is pure data movement into preallocated buffers; the
+reduction math happens in :mod:`repro.runtime.collectives`, elementwise
+over ranks, so the bucket layout cannot change training numerics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class BucketSlot:
+    """One parameter's slice of a bucket buffer."""
+
+    param_index: int          # index into the bucketer's parameter list
+    offset: int               # flat offset within the bucket
+    size: int                 # number of elements
+    shape: tuple[int, ...]
+
+
+@dataclass(frozen=True)
+class BucketLayout:
+    """One bucket: a dtype-homogeneous run of parameter slots."""
+
+    slots: tuple[BucketSlot, ...]
+    size: int                 # total elements
+    dtype: np.dtype
+
+    @property
+    def nbytes(self) -> int:
+        return self.size * self.dtype.itemsize
+
+
+class GradientBucketer:
+    """Maps a parameter list onto capped flat gradient buffers.
+
+    Parameters
+    ----------
+    params:
+        the parameter list whose ``.grad`` arrays are packed/unpacked;
+        order must match between :meth:`pack` and :meth:`unpack` calls
+        (trainers pass ``optimizer.params`` everywhere).
+    bucket_cap_mb:
+        soft capacity per bucket; a single parameter larger than the cap
+        still gets its own bucket.
+    ready_order:
+        lay buckets out in reverse registration order (gradient-ready
+        order).  ``False`` keeps registration order — useful for tests.
+    """
+
+    def __init__(self, params, *, bucket_cap_mb: float = 25.0,
+                 ready_order: bool = True):
+        if bucket_cap_mb <= 0:
+            raise ValueError(f"bucket_cap_mb must be > 0, got {bucket_cap_mb}")
+        self.params = list(params)
+        if not self.params:
+            raise ValueError("GradientBucketer got an empty parameter list")
+        self.bucket_cap_bytes = int(bucket_cap_mb * (1 << 20))
+        self.ready_order = ready_order
+
+        order = range(len(self.params))
+        if ready_order:
+            order = reversed(order)
+        buckets: list[BucketLayout] = []
+        slots: list[BucketSlot] = []
+        offset = 0
+        dtype: np.dtype | None = None
+
+        def flush():
+            nonlocal slots, offset, dtype
+            if slots:
+                buckets.append(BucketLayout(tuple(slots), offset, dtype))
+            slots, offset, dtype = [], 0, None
+
+        for i in order:
+            p = self.params[i]
+            p_dtype = np.dtype(p.data.dtype)
+            p_bytes = p.data.size * p_dtype.itemsize
+            if slots and (p_dtype != dtype
+                          or (offset * dtype.itemsize) + p_bytes
+                          > self.bucket_cap_bytes):
+                flush()
+            if dtype is None:
+                dtype = p_dtype
+            slots.append(BucketSlot(i, offset, p.data.size, p.data.shape))
+            offset += p.data.size
+        flush()
+        self.buckets: tuple[BucketLayout, ...] = tuple(buckets)
+
+    # ------------------------------------------------------------------
+    @property
+    def num_buckets(self) -> int:
+        return len(self.buckets)
+
+    @property
+    def total_bytes(self) -> int:
+        return sum(b.nbytes for b in self.buckets)
+
+    def make_buffers(self) -> list[np.ndarray]:
+        """One persistent flat buffer per bucket (caller owns the set)."""
+        return [np.empty(b.size, b.dtype) for b in self.buckets]
+
+    # ------------------------------------------------------------------
+    def pack(self, params, buffers: list[np.ndarray]) -> list[np.ndarray]:
+        """Write every parameter's gradient into the bucket buffers.
+
+        ``params`` must parallel the constructor's list (same shapes and
+        dtypes; typically the same objects, or a rank replica's).  A
+        parameter with ``grad is None`` contributes zeros, matching the
+        flat-concatenate semantics the trainers had before bucketing.
+        Returns ``buffers`` for chaining.
+        """
+        self._check_buffers(buffers)
+        for layout, buf in zip(self.buckets, buffers):
+            for slot in layout.slots:
+                dst = buf[slot.offset: slot.offset + slot.size]
+                g = params[slot.param_index].grad
+                if g is None:
+                    dst.fill(0.0)
+                else:
+                    np.copyto(dst.reshape(slot.shape), g)
+        return buffers
+
+    def unpack(self, buffers: list[np.ndarray], params) -> None:
+        """Write bucket contents back into each parameter's ``.grad``.
+
+        Reuses an existing gradient buffer in place when shapes match,
+        allocating only on first touch.
+        """
+        self._check_buffers(buffers)
+        for layout, buf in zip(self.buckets, buffers):
+            for slot in layout.slots:
+                src = buf[slot.offset: slot.offset + slot.size]
+                p = params[slot.param_index]
+                if p.grad is None or p.grad.shape != slot.shape:
+                    p.grad = src.reshape(slot.shape).copy()
+                else:
+                    np.copyto(p.grad, src.reshape(slot.shape))
+
+    def _check_buffers(self, buffers: list[np.ndarray]) -> None:
+        if len(buffers) != len(self.buckets):
+            raise ValueError(f"expected {len(self.buckets)} bucket buffers, "
+                             f"got {len(buffers)}")
+        for layout, buf in zip(self.buckets, buffers):
+            if buf.size != layout.size or buf.dtype != layout.dtype:
+                raise ValueError(
+                    f"bucket buffer mismatch: need size {layout.size} "
+                    f"{layout.dtype}, got size {buf.size} {buf.dtype}")

@@ -13,8 +13,8 @@ grows by ``k_hops`` per diffusion per recurrent step, so over a
 sensor network — which is precisely the paper's argument *against*
 partitioned training.  Sharded serving therefore buys **data locality and
 routing** (each shard stores only its own columns; peers' columns arrive
-as byte-accounted halo fetches over :class:`~repro.distributed.comm.
-SimCommunicator`), not reduced compute.  Exact inference assembles the
+as byte-accounted halo fetches over a :class:`~repro.runtime.
+process_group.ProcessGroup`), not reduced compute.  Exact inference assembles the
 full input (``receptive_hops=None``, the default), which makes sharded
 predictions bitwise identical to single-shard inference; passing a finite
 ``receptive_hops`` truncates the halo to a k-hop neighbourhood and
@@ -31,10 +31,10 @@ import scipy.sparse as sp
 
 from repro.autograd.grad_mode import no_grad
 from repro.autograd.tensor import Tensor
-from repro.distributed.comm import SimCommunicator
 from repro.graph.partition import partition_graph
 from repro.nn.module import assert_inference_mode
 from repro.preprocessing.scaler import StandardScaler
+from repro.runtime.process_group import ProcessGroup, as_process_group
 from repro.serving.cache import FeatureStore
 from repro.utils.errors import ShapeError
 
@@ -79,14 +79,15 @@ class ShardedSession:
     ForecastService` facade treats both interchangeably.  All shards run
     in-process and share one model instance (parameters are replicated in
     a real deployment; simulation shares memory), while data movement is
-    charged to a :class:`SimCommunicator` with one rank per shard.
+    charged to a :class:`ProcessGroup` with one rank per shard — the same
+    collectives layer the DDP trainers use.
     """
 
     def __init__(self, model: Any, scaler: StandardScaler | None,
                  graph: Any, *, num_shards: int, spec: Any = None,
                  max_batch: int = 32, receptive_hops: int | None = None,
                  store_capacity: int | None = None,
-                 comm: SimCommunicator | None = None,
+                 comm: ProcessGroup | None = None,
                  add_time_feature: bool | None = None):
         self.model = model.eval()
         self.scaler = scaler
@@ -102,9 +103,9 @@ class ShardedSession:
             raise ShapeError(f"graph has {graph.num_nodes} nodes but model "
                              f"expects {self.num_nodes}")
         self.assignment = partition_graph(graph.weights, self.num_shards)
-        self.comm = comm if comm is not None else SimCommunicator(self.num_shards)
+        self.comm = as_process_group(comm, world_size=self.num_shards)
         if self.comm.world_size != self.num_shards:
-            raise ValueError("communicator world size must equal num_shards")
+            raise ValueError("process group world size must equal num_shards")
 
         capacity = store_capacity or 4 * self.horizon
         if add_time_feature is None:

@@ -12,6 +12,7 @@ from repro.training.metrics import (
     rmse,
 )
 from repro.training.replicated import ReplicatedDDPTrainer
+from repro.training.step import average_and_apply, clip_and_step
 from repro.training.trainer import EpochRecord, Trainer
 
 __all__ = [
@@ -26,6 +27,8 @@ __all__ = [
     "DDPTrainer",
     "DDPStrategy",
     "ReplicatedDDPTrainer",
+    "clip_and_step",
+    "average_and_apply",
     "save_checkpoint",
     "load_checkpoint",
     "evaluate_by_horizon",

@@ -1,4 +1,4 @@
-"""Distributed-data-parallel training over the simulated communicator.
+"""Distributed-data-parallel training over the :mod:`repro.runtime` layer.
 
 Implements the three data strategies the paper evaluates:
 
@@ -12,12 +12,22 @@ Implements the three data strategies the paper evaluates:
   batch-level shuffling; batches are contiguous in the local partition so
   data traffic shrinks by roughly ``2 * horizon`` versus baseline DDP.
 
-Execution model: ranks run in-process.  Each global step, every rank's
-microbatch gradient is computed on the shared model replica (identical to
-per-rank replicas because DDP keeps replicas bit-identical), gradients are
-averaged through :meth:`SimCommunicator.allreduce` (charging ring-allreduce
-time and bytes), and the optimizer applies the averaged gradient.  A
-verification mode with true per-rank replicas backs the equivalence test.
+Execution model: ranks run through a
+:class:`~repro.runtime.process_group.ProcessGroup`.  Each global step,
+every rank computes its microbatch gradient, gradients are packed into
+:class:`~repro.runtime.buckets.GradientBucketer` buffers and averaged
+with a few large all-reduces (charging ring-allreduce time and bytes on
+a simulated transport), and the optimizer applies the averaged gradient.
+
+By default all ranks share one model replica and run sequentially —
+identical to per-rank replicas because DDP keeps replicas bit-identical.
+Passing ``model_factory`` builds one replica per rank whose parameter
+*data* aliases the shared model (so the single optimizer updates all of
+them) while gradients stay rank-private; that makes rank steps
+independent, and on :meth:`ProcessGroup.threads` they execute on real
+threads concurrently — NumPy releases the GIL, so multi-rank steps get
+true wall-clock parallelism.  Both modes produce bitwise-identical
+training curves.
 """
 
 from __future__ import annotations
@@ -30,7 +40,7 @@ import numpy as np
 
 from repro.autograd.grad_mode import no_grad
 from repro.autograd.tensor import Tensor
-from repro.batching.protocols import ensure_batch_source
+from repro.batching.protocols import clone_batch_source, ensure_batch_source
 from repro.nn.module import assert_inference_mode
 from repro.batching.samplers import (
     BatchShuffleSampler,
@@ -38,12 +48,14 @@ from repro.batching.samplers import (
     LocalShuffleSampler,
     Sampler,
 )
-from repro.distributed.comm import SimCommunicator
 from repro.models.base import STModel
 from repro.optim.losses import l1_loss
 from repro.optim.optimizers import Optimizer, clip_grad_norm
 from repro.preprocessing.scaler import StandardScaler
+from repro.runtime.buckets import GradientBucketer
+from repro.runtime.process_group import ProcessGroup, as_process_group
 from repro.training.metrics import masked_abs_error
+from repro.training.step import average_and_apply
 from repro.utils.errors import CommunicatorError
 
 
@@ -75,20 +87,25 @@ class DDPEpochRecord:
 
 
 class DDPTrainer:
-    """DDP training of one model over ``world_size`` simulated ranks."""
+    """DDP training of one model over ``world_size`` ranks."""
 
-    def __init__(self, model: STModel, optimizer: Optimizer, comm: SimCommunicator,
-                 train_loader, val_loader=None, *,
+    def __init__(self, model: STModel, optimizer: Optimizer,
+                 comm: ProcessGroup, train_loader, val_loader=None, *,
                  strategy: DDPStrategy = DDPStrategy.DIST_INDEX,
                  shuffle: str | None = None,
                  scaler: StandardScaler | None = None,
                  loss_fn: Callable = l1_loss, clip_norm: float = 5.0,
                  step_time_fn: Callable[[int], float] | None = None,
                  batch_bytes_fn: Callable[[int], int] | None = None,
-                 seed: int | str = 0):
+                 seed: int | str = 0,
+                 model_factory: Callable[[], STModel] | None = None,
+                 bucket_cap_mb: float = 25.0):
         """
         Parameters
         ----------
+        comm: a :class:`ProcessGroup` (``ProcessGroup.sim(world)`` /
+            ``ProcessGroup.threads(world)``), a bare transport, or the
+            deprecated ``SimCommunicator``.
         step_time_fn: maps microbatch size -> simulated compute seconds
             (defaults to the model's analytic flop model on an A100).
         batch_bytes_fn: maps microbatch size -> bytes a worker must pull
@@ -98,11 +115,17 @@ class DDPTrainer:
         shuffle: 'global' | 'local' | 'batch'; defaults to the paper's
             choice per strategy (global for DDP/dist-index, batch for
             generalized).
+        model_factory: builds identically-initialised models (same seed).
+            When given, each rank gets its own replica (parameter data
+            aliased to ``model``) and private loader buffers, so rank
+            steps may run concurrently on a parallel transport.
+        bucket_cap_mb: gradient-bucket capacity; small models fuse into
+            one bucket (a single all-reduce per step).
         """
         self.model = model
         self.optimizer = optimizer
-        self.comm = comm
-        self.world_size = comm.world_size
+        self.comm = as_process_group(comm)
+        self.world_size = self.comm.world_size
         self.train_loader = ensure_batch_source(train_loader, "train_loader")
         self.val_loader = (None if val_loader is None
                            else ensure_batch_source(val_loader, "val_loader"))
@@ -125,6 +148,60 @@ class DDPTrainer:
         self.history: list[DDPEpochRecord] = []
         self._param_bytes = sum(
             p.nbytes for p in optimizer.params if p.requires_grad)
+
+        self.bucketer = GradientBucketer(optimizer.params,
+                                         bucket_cap_mb=bucket_cap_mb)
+        self._grad_bufs = [self.bucketer.make_buffers()
+                           for _ in range(self.world_size)]
+        self._replicas: list[STModel] | None = None
+        self._rank_params: list[list] = [optimizer.params] * self.world_size
+        self._rank_loaders = [self.train_loader] * self.world_size
+        self._parallel = False
+        if model_factory is not None and self.world_size > 1:
+            self._build_replicas(model_factory)
+
+    # ------------------------------------------------------------------
+    def _build_replicas(self, model_factory: Callable[[], STModel]) -> None:
+        """Per-rank replicas whose parameter data aliases the shared model.
+
+        Aliasing means the one optimizer step updates every replica at
+        once (the moral equivalent of DDP's guarantee that replicas never
+        diverge) while each replica accumulates gradients privately — the
+        property that makes rank steps safe to run concurrently.
+        """
+        shared = self.model.parameters()
+        replicas = [self.model]
+        rank_params = [self.optimizer.params]
+        for rank in range(1, self.world_size):
+            rep = model_factory()
+            rep_params = rep.parameters()
+            if len(rep_params) != len(shared):
+                raise CommunicatorError(
+                    "model_factory built a different architecture "
+                    f"({len(rep_params)} vs {len(shared)} parameters)")
+            by_id = {}
+            for sp, rp in zip(shared, rep_params):
+                if not np.array_equal(sp.data, rp.data):
+                    raise CommunicatorError(
+                        f"rank {rank} replica initialised differently at "
+                        f"{rp.name or 'a parameter'}; model_factory must "
+                        f"be deterministic")
+                rp.data = sp.data          # alias: optimizer updates all
+                by_id[id(sp)] = rp
+            try:
+                rank_params.append([by_id[id(p)]
+                                    for p in self.optimizer.params])
+            except KeyError:
+                raise CommunicatorError(
+                    "optimizer params must come from the shared model "
+                    "when using model_factory") from None
+            replicas.append(rep)
+        self._replicas = replicas
+        self._rank_params = rank_params
+        self._rank_loaders = [self.train_loader] + [
+            clone_batch_source(self.train_loader)
+            for _ in range(1, self.world_size)]
+        self._parallel = True
 
     # ------------------------------------------------------------------
     def _default_step_time(self, batch: int) -> float:
@@ -152,31 +229,29 @@ class DDPTrainer:
                             messages_per_rank=1, category="data")
 
     # ------------------------------------------------------------------
-    def _microbatch_grads(self, sel: np.ndarray) -> tuple[np.ndarray, float]:
-        """Gradient vector and loss for one rank's microbatch."""
-        x, y = self.train_loader.batch_at(sel)
-        pred = self.model(Tensor(x))
+    def _microbatch_grads(self, rank: int, sel: np.ndarray) -> float:
+        """One rank's microbatch gradient, packed into its bucket buffers.
+
+        Returns the scalar loss; the gradient leaves through
+        ``self._grad_bufs[rank]``.
+        """
+        model = self._replicas[rank] if self._replicas else self.model
+        loader = self._rank_loaders[rank]
+        params = self._rank_params[rank]
+        x, y = loader.batch_at(sel)
+        pred = model(Tensor(x))
         loss = self.loss_fn(pred, y[..., :1].astype(np.float32))
-        self.model.zero_grad()
+        model.zero_grad()
         loss.backward()
         if self.clip_norm:
-            clip_grad_norm(self.optimizer.params, self.clip_norm)
-        flat = np.concatenate([
-            (p.grad if p.grad is not None else np.zeros_like(p.data)).ravel()
-            for p in self.optimizer.params])
-        return flat, float(loss.item())
-
-    def _apply_flat_grads(self, flat: np.ndarray) -> None:
-        offset = 0
-        for p in self.optimizer.params:
-            size = p.data.size
-            p.grad = flat[offset: offset + size].reshape(p.data.shape).copy()
-            offset += size
-        self.optimizer.step()
+            clip_grad_norm(params, self.clip_norm)
+        self.bucketer.pack(params, self._grad_bufs[rank])
+        return float(loss.item())
 
     def train_epoch(self, epoch: int) -> float:
         """One synchronized epoch across all ranks; returns mean loss."""
-        self.model.train()
+        for m in self._replicas or [self.model]:
+            m.train()
         plan = self.sampler.epoch_plan(epoch)
         steps = min(len(b) for b in plan)
         if steps == 0:
@@ -185,17 +260,16 @@ class DDPTrainer:
                 "or batch size")
         losses = []
         for step in range(steps):
-            per_rank_grads = []
-            for rank in range(self.world_size):
+            def rank_step(rank: int) -> float:
                 sel = plan[rank][step]
                 self._charge_rank_compute(rank, len(sel))
-                flat, loss = self._microbatch_grads(sel)
-                per_rank_grads.append(flat)
-                losses.append(loss)
+                return self._microbatch_grads(rank, sel)
+
+            losses.extend(self.comm.run_ranks(rank_step,
+                                              parallel=self._parallel))
             self._charge_data_comm(len(plan[0][step]))
-            reduced = self.comm.allreduce(per_rank_grads, op="mean",
-                                          category="gradient")
-            self._apply_flat_grads(reduced[0])
+            average_and_apply(self.comm, self.bucketer, self._grad_bufs,
+                              [self.optimizer], category="gradient")
         return float(np.mean(losses))
 
     def _charge_rank_compute(self, rank: int, batch: int) -> None:
@@ -215,7 +289,8 @@ class DDPTrainer:
         loader = loader or self.val_loader
         if loader is None:
             raise ValueError("no evaluation loader provided")
-        self.model.eval()
+        for m in self._replicas or [self.model]:
+            m.eval()
         n = loader.num_snapshots
         bounds = np.linspace(0, n, self.world_size + 1).astype(int)
         partials = []

@@ -40,6 +40,7 @@ from repro.hardware.specs import (
     POLARIS_NODE,
 )
 from repro.preprocessing.windows import num_snapshots, split_bounds
+from repro.runtime import ProcessGroup
 from repro.utils.seeding import new_rng
 
 # --- calibration constants (see module docstring / EXPERIMENTS.md) ---------
@@ -306,6 +307,48 @@ class TrainingPerfModel:
         raise AssertionError(strategy)
 
     # -- epochs -----------------------------------------------------------
+    def epoch_process_group(self, strategy: str, world: int = 1,
+                            *, include_validation: bool = True
+                            ) -> ProcessGroup:
+        """Charge one epoch's communication through a :class:`ProcessGroup`.
+
+        Returns the group after accounting every collective and data-plane
+        transfer a ``world``-rank epoch issues, split by traffic category
+        exactly as the DDP trainers record it:
+
+        - ``"gradient"`` — the per-step parameter all-reduce,
+        - ``"metric"`` — the validation all-reduce,
+        - ``"data"`` — on-demand batch fetches (strategy-dependent).
+
+        ``pg.stats`` is the public per-category time/byte breakdown the
+        scaling figures (7 and 9) consume; :meth:`epoch_breakdown` folds
+        the same numbers into its coarse compute/comm split.
+        """
+        if strategy not in STRATEGIES:
+            raise ValueError(f"unknown strategy {strategy!r}")
+        steps = self.steps_per_epoch(world)
+        topo = ClusterTopology(world, self.node)
+        cost = CommCostModel(topo)
+        pg = ProcessGroup.sim(world, cost)
+        if world == 1:
+            return pg
+        grad_bytes = self.model.param_bytes
+        pg.charge("gradient", steps * grad_bytes,
+                  steps * cost.allreduce_time(grad_bytes), ops=steps)
+        if include_validation:
+            pg.charge("metric", 8, cost.allreduce_time(8))
+        remote = 1.0 - 1.0 / world
+        if strategy == "baseline-ddp":
+            volume = self._windowed_train_bytes() * remote
+            pg.charge("data", int(volume),
+                      volume / self.dask_fabric_bw(world), ops=steps)
+        elif strategy == "generalized-index":
+            per_step = self._raw_range_bytes(self.batch_size) * world * remote
+            pg.charge("data", int(steps * per_step),
+                      steps * per_step / self.dask_fabric_bw(world),
+                      ops=steps)
+        return pg
+
     def epoch_breakdown(self, strategy: str, world: int = 1,
                         *, include_validation: bool = True,
                         prefetch: bool = False) -> EpochBreakdown:
@@ -318,8 +361,6 @@ class TrainingPerfModel:
         if strategy not in STRATEGIES:
             raise ValueError(f"unknown strategy {strategy!r}")
         steps = self.steps_per_epoch(world)
-        topo = ClusterTopology(world, self.node)
-        comm = CommCostModel(topo)
         br = EpochBreakdown()
         br.compute = steps * self.step_compute_seconds()
         if include_validation:
@@ -332,16 +373,11 @@ class TrainingPerfModel:
 
         if world > 1:
             br.framework = EPOCH_FIXED_OVERHEAD
-            br.grad_comm = steps * comm.allreduce_time(self.model.param_bytes)
-            if include_validation:
-                br.grad_comm += comm.allreduce_time(8)  # metric reduce
-            remote = 1.0 - 1.0 / world
-            if strategy == "baseline-ddp":
-                volume = self._windowed_train_bytes() * remote
-                br.data_comm = volume / self.dask_fabric_bw(world)
-            elif strategy == "generalized-index":
-                per_step = self._raw_range_bytes(self.batch_size) * world * remote
-                br.data_comm = steps * per_step / self.dask_fabric_bw(world)
+            t = self.epoch_process_group(
+                strategy, world,
+                include_validation=include_validation).stats.time_by_category
+            br.grad_comm = t.get("gradient", 0.0) + t.get("metric", 0.0)
+            br.data_comm = t.get("data", 0.0)
             if prefetch and br.data_comm > 0:
                 # Fetch of batch k+1 hides behind compute of batch k; only
                 # the excess per-step fetch time stays on the critical path.

@@ -1,12 +1,17 @@
 """True per-rank-replica DDP (verification mode).
 
 :class:`~repro.training.ddp.DDPTrainer` computes per-rank microbatch
-gradients on one shared model, which is mathematically identical to DDP as
-long as replicas never diverge.  This module implements the literal thing —
-one model replica per rank, each doing its own forward/backward, gradients
-exchanged through the communicator — so the equivalence can be *verified*
-rather than assumed, exactly like running real DDP with synchronisation
-checks enabled.
+gradients against one shared parameter set, which is mathematically
+identical to DDP as long as replicas never diverge.  This module
+implements the literal thing — one model replica per rank with its *own*
+parameter storage and optimizer, gradients exchanged through the process
+group — so the equivalence can be *verified* rather than assumed,
+exactly like running real DDP with synchronisation checks enabled.
+
+Gradient averaging and the optimizer tail go through the same
+:func:`~repro.training.step.average_and_apply` helper (and the same
+:class:`~repro.runtime.buckets.GradientBucketer`) as the production
+trainer, so the verification covers the deployed code path.
 """
 
 from __future__ import annotations
@@ -17,10 +22,12 @@ import numpy as np
 
 from repro.autograd.tensor import Tensor
 from repro.batching.samplers import GlobalShuffleSampler
-from repro.distributed.comm import SimCommunicator
 from repro.models.base import STModel
 from repro.optim.losses import l1_loss
 from repro.optim.optimizers import Adam
+from repro.runtime.buckets import GradientBucketer
+from repro.runtime.process_group import ProcessGroup, as_process_group
+from repro.training.step import average_and_apply
 from repro.utils.errors import CommunicatorError
 
 
@@ -32,11 +39,12 @@ class ReplicatedDDPTrainer:
     """
 
     def __init__(self, model_factory: Callable[[], STModel],
-                 comm: SimCommunicator, train_loader, *,
+                 comm: ProcessGroup, train_loader, *,
                  lr: float = 0.01, loss_fn: Callable = l1_loss,
-                 seed: int | str = 0, sync_check: bool = True):
-        self.comm = comm
-        self.world_size = comm.world_size
+                 seed: int | str = 0, sync_check: bool = True,
+                 bucket_cap_mb: float = 25.0):
+        self.comm = as_process_group(comm)
+        self.world_size = self.comm.world_size
         self.replicas = [model_factory() for _ in range(self.world_size)]
         self._check_identical_init()
         self.optimizers = [Adam(m.parameters(), lr=lr) for m in self.replicas]
@@ -46,6 +54,10 @@ class ReplicatedDDPTrainer:
         self.sampler = GlobalShuffleSampler(
             train_loader.num_snapshots, train_loader.batch_size,
             world_size=self.world_size, seed=seed)
+        self.bucketer = GradientBucketer(self.optimizers[0].params,
+                                         bucket_cap_mb=bucket_cap_mb)
+        self._grad_bufs = [self.bucketer.make_buffers()
+                           for _ in range(self.world_size)]
 
     def _check_identical_init(self) -> None:
         ref = self.replicas[0].state_dict()
@@ -56,17 +68,17 @@ class ReplicatedDDPTrainer:
                         f"replica {r} initialised differently at {name!r}; "
                         f"model_factory must be deterministic")
 
-    def _flat_grads(self, rank: int, sel: np.ndarray) -> tuple[np.ndarray, float]:
+    def _rank_grads(self, rank: int, sel: np.ndarray) -> float:
+        """One replica's microbatch gradients, packed into its buffers."""
         model = self.replicas[rank]
         x, y = self.train_loader.batch_at(sel)
         pred = model(Tensor(x))
         loss = self.loss_fn(pred, y[..., :1].astype(np.float32))
         model.zero_grad()
         loss.backward()
-        flat = np.concatenate([
-            (p.grad if p.grad is not None else np.zeros_like(p.data)).ravel()
-            for p in self.optimizers[rank].params])
-        return flat, float(loss.item())
+        self.bucketer.pack(self.optimizers[rank].params,
+                           self._grad_bufs[rank])
+        return float(loss.item())
 
     def train_epoch(self, epoch: int) -> float:
         """One epoch of literal replicated DDP; returns the mean loss."""
@@ -74,21 +86,10 @@ class ReplicatedDDPTrainer:
         steps = min(len(b) for b in plan)
         losses = []
         for step in range(steps):
-            grads = []
             for rank in range(self.world_size):
-                flat, loss = self._flat_grads(rank, plan[rank][step])
-                grads.append(flat)
-                losses.append(loss)
-            reduced = self.comm.allreduce(grads, op="mean", category="gradient")
-            for rank in range(self.world_size):
-                offset = 0
-                opt = self.optimizers[rank]
-                for p in opt.params:
-                    size = p.data.size
-                    p.grad = reduced[rank][offset: offset + size].reshape(
-                        p.data.shape).copy()
-                    offset += size
-                opt.step()
+                losses.append(self._rank_grads(rank, plan[rank][step]))
+            average_and_apply(self.comm, self.bucketer, self._grad_bufs,
+                              self.optimizers, category="gradient")
             if self.sync_check:
                 self.assert_replicas_in_sync()
         return float(np.mean(losses))

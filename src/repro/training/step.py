@@ -1,0 +1,63 @@
+"""Shared per-step update logic for every trainer.
+
+The "average grads → clip → optimizer apply" tail of a training step was
+copy-pasted (with small drift) across :class:`~repro.training.trainer.
+Trainer`, :class:`~repro.training.ddp.DDPTrainer` and :class:`~repro.
+training.replicated.ReplicatedDDPTrainer`.  It lives here once now, with
+the exact historical operation order preserved:
+
+- :func:`clip_and_step` — ``clip_grad_norm`` (if enabled) then
+  ``optimizer.step()``, the single-device tail.
+- :func:`average_and_apply` — bucketed mean all-reduce of per-rank
+  gradients followed by per-optimizer unpack + step, the distributed
+  tail shared by the shared-replica and per-rank-replica DDP trainers.
+
+Op order is seed-identical to the pre-refactor code: gradients are
+reduced elementwise over ranks in rank order, written back into the
+optimizer's parameter gradients, and applied by the unchanged in-place
+optimizers — a fixed-seed curve test pins this.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.optim.optimizers import Optimizer, clip_grad_norm
+from repro.runtime.buckets import GradientBucketer
+from repro.runtime.process_group import ProcessGroup
+
+
+def clip_and_step(optimizer: Optimizer, clip_norm: float | None) -> None:
+    """Clip the global gradient norm (when enabled), then step.
+
+    The shared tail of a local update; a falsy ``clip_norm`` (``None`` or
+    ``0``) skips clipping, matching each trainer's historical default.
+    """
+    if clip_norm:
+        clip_grad_norm(optimizer.params, clip_norm)
+    optimizer.step()
+
+
+def average_and_apply(pg: ProcessGroup, bucketer: GradientBucketer,
+                      rank_buffers: list[list[np.ndarray]],
+                      optimizers: list[Optimizer], *,
+                      clip_norm: float | None = None,
+                      category: str = "gradient") -> None:
+    """Mean-all-reduce packed gradients, then apply on every optimizer.
+
+    ``rank_buffers[r]`` is rank ``r``'s packed bucket set (see
+    :meth:`GradientBucketer.pack`).  One all-reduce is issued per bucket;
+    ``optimizers`` receive the reduced gradients in rank order — one
+    optimizer (shared-replica DDP) consumes rank 0's copy, per-rank
+    optimizers (replicated DDP) consume their own.
+    """
+    if len(rank_buffers) != pg.world_size:
+        raise ValueError(f"expected bucket buffers for {pg.world_size} "
+                         f"ranks, got {len(rank_buffers)}")
+    reduced = [pg.allreduce([bufs[b] for bufs in rank_buffers],
+                            op="mean", category=category)
+               for b in range(bucketer.num_buckets)]
+    for rank, opt in enumerate(optimizers):
+        bucketer.unpack([reduced[b][rank]
+                         for b in range(bucketer.num_buckets)], opt.params)
+        clip_and_step(opt, clip_norm)

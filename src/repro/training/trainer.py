@@ -22,9 +22,10 @@ from repro.models.base import STModel
 from repro.models.dcrnn import DCRNN
 from repro.nn.module import assert_inference_mode
 from repro.optim.losses import l1_loss
-from repro.optim.optimizers import Optimizer, clip_grad_norm
+from repro.optim.optimizers import Optimizer
 from repro.preprocessing.scaler import StandardScaler
 from repro.training.metrics import masked_abs_error
+from repro.training.step import clip_and_step
 
 
 @dataclass
@@ -82,9 +83,7 @@ class Trainer:
         loss = self.loss_fn(pred, target.astype(np.float32))
         self.optimizer.zero_grad()
         loss.backward()
-        if self.clip_norm:
-            clip_grad_norm(self.optimizer.params, self.clip_norm)
-        self.optimizer.step()
+        clip_and_step(self.optimizer, self.clip_norm)
         return float(loss.item())
 
     def train_epoch(self, epoch: int) -> float:

@@ -25,6 +25,11 @@ from repro.profiling.bench import (
 
 sys.path.insert(0, str(Path(__file__).resolve().parents[1]))
 from benchmarks.run_bench import main as run_bench_main  # noqa: E402
+from benchmarks.dist_bench import (  # noqa: E402
+    check_regression,
+    main as dist_bench_main,
+    validate_distributed,
+)
 
 
 @pytest.fixture(scope="module")
@@ -98,6 +103,47 @@ class TestTrainingBenchmarkParity:
                                    rtol=0, atol=1e-9)
 
 
+class TestDistBenchCLI:
+    @pytest.fixture(scope="class")
+    def dist_path(self, tmp_path_factory):
+        out = tmp_path_factory.mktemp("dist") / "dist.json"
+        rc = dist_bench_main(["--quick", "--out", str(out),
+                              "--label", "smoke"])
+        assert rc == 0
+        return out
+
+    def test_writes_valid_section(self, dist_path):
+        data = load_snapshot(dist_path)
+        validate_distributed(data["distributed"])
+        scen = data["distributed"]["scenarios"]
+        ar = scen["allreduce_bucketed_w4"]
+        assert ar["sim_speedup"] > 1.0           # bucketing must win
+        assert ar["buckets"] < ar["num_tensors"]
+        th = scen["thread_scaling_w4"]
+        assert th["curve_bitwise_equal"] is True  # thread == sequential
+        assert th["thread_steps_per_sec"] > 0
+        assert th["cores"] >= 1
+
+    def test_diff_and_gate(self, dist_path, capsys):
+        rc = dist_bench_main(["--diff", str(dist_path), str(dist_path)])
+        assert rc == 0
+        assert "thread_steps_per_sec" in capsys.readouterr().out
+        section = load_snapshot(dist_path)["distributed"]
+        # The section's own gates must hold for a freshly measured run.
+        assert check_regression(section, 1.5) == []
+        # A broken parity bit must trip the gate.
+        bad = json.loads(json.dumps(section))
+        bad["scenarios"]["thread_scaling_w4"]["curve_bitwise_equal"] = False
+        assert check_regression(bad, 1.5)
+
+    def test_validate_rejects_junk(self):
+        with pytest.raises(ValueError):
+            validate_distributed({"schema": "nope"})
+        with pytest.raises(ValueError):
+            validate_distributed({"schema": "repro-dist/v1", "created": "x",
+                                  "config": {}, "scenarios": {}})
+
+
 class TestCommittedSnapshots:
     def test_repo_snapshots_are_valid(self):
         """Any BENCH_<n>.json committed at the repo root must parse."""
@@ -105,4 +151,7 @@ class TestCommittedSnapshots:
         found = sorted(root.glob("BENCH_*.json"))
         assert found, "expected at least one committed BENCH_<n>.json"
         for path in found:
-            validate_snapshot(json.loads(path.read_text()))
+            data = json.loads(path.read_text())
+            validate_snapshot(data)
+            if "distributed" in data:
+                validate_distributed(data["distributed"])
