@@ -1,0 +1,356 @@
+"""Fault-tolerance benchmark: recovery overhead + failover latency.
+
+Measures what the chaos subsystem costs and merges the numbers as a
+``"faults"`` section into a ``BENCH_<n>.json`` snapshot (see
+``benchmarks/README.md`` for the ``repro-faults/v1`` schema)::
+
+    # merge into the newest existing snapshot (or create BENCH_1.json)
+    python -m benchmarks.fault_bench
+
+    # explicit target / CI smoke mode
+    python -m benchmarks.fault_bench --out BENCH_5.json
+    python -m benchmarks.fault_bench --quick --out /tmp/faults.json
+
+    # compare two snapshots' fault sections / gate the guarantees
+    python -m benchmarks.fault_bench --diff BENCH_4.json BENCH_5.json
+    python -m benchmarks.fault_bench --fail-on-regression
+
+Scenarios:
+
+- ``recovery_dist_index_w4`` — fixed-seed world-4 DDP training, clean
+  vs. ``rank_crash`` + checkpoint-resume through
+  :func:`~repro.training.recovery.train_with_recovery`.  The recovered
+  curve must be bitwise identical to the clean one; the overhead
+  percentages (simulated fabric seconds and measured wall seconds,
+  including periodic checkpoint writes and the replayed lost work) are
+  the recovery price.
+- ``failover_shard4_c8`` — closed-loop load against a 4-shard serving
+  session with a scheduled mid-stream ``worker_crash``.  Records the
+  failover p99 rebuild latency and the post-failover prediction parity
+  versus an unsharded session (must stay within 1e-6).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import time
+from pathlib import Path
+
+import numpy as np
+
+FAULT_SCHEMA = "repro-faults/v1"
+
+#: Fixed seed — part of the benchmark definition.
+SEED = 0
+
+#: Post-failover prediction parity bound (absolute).
+PARITY_ATOL = 1e-6
+
+
+# ---------------------------------------------------------------------------
+# Scenario 1: crash + checkpoint-resume recovery overhead
+# ---------------------------------------------------------------------------
+def bench_recovery(*, world: int = 4, quick: bool = False) -> dict:
+    from repro.batching import IndexBatchLoader
+    from repro.datasets import load_dataset
+    from repro.graph import dual_random_walk_supports
+    from repro.models import PGTDCRNN
+    from repro.optim import Adam
+    from repro.preprocessing import IndexDataset
+    from repro.runtime import FaultPlan, FaultyTransport, ProcessGroup, \
+        SimTransport
+    from repro.training import DDPStrategy, DDPTrainer, train_with_recovery
+
+    nodes = 12 if quick else 24
+    hidden = 8 if quick else 16
+    batch = 8
+    epochs = 1 if quick else 2
+    ds = load_dataset("pems-bay", nodes=nodes, entries=40 * batch + 40,
+                      seed=SEED)
+    idx = IndexDataset.from_dataset(ds, horizon=4)
+    supports = dual_random_walk_supports(ds.graph.weights)
+
+    def make_trainer(plan=None, ckpt=None, checkpoint_every=4):
+        model = PGTDCRNN(supports, horizon=4, in_features=2,
+                         hidden_dim=hidden, seed=SEED)
+        opt = Adam(model.parameters(), lr=0.01)
+        transport = SimTransport(world)
+        if plan is not None:
+            transport = FaultyTransport(transport, plan)
+        return DDPTrainer(
+            model, opt, ProcessGroup(transport),
+            IndexBatchLoader(idx, "train", batch),
+            IndexBatchLoader(idx, "val", batch),
+            strategy=DDPStrategy.DIST_INDEX, seed=SEED,
+            checkpoint_every=checkpoint_every if ckpt else None,
+            checkpoint_path=ckpt)
+
+    steps_per_epoch = make_trainer().sampler.steps_per_epoch()
+    crash_step = max(1, (steps_per_epoch * epochs) // 2)
+    checkpoint_every = max(1, steps_per_epoch // 4)
+
+    # Warm the process (kernel caches, loader buffers) outside the
+    # measured window; whichever run went first used to absorb the
+    # cold-start cost and skew the wall overhead either way.
+    make_trainer().fit(1)
+
+    clean_trainer = make_trainer()
+    t0 = time.perf_counter()
+    clean_hist = clean_trainer.fit(epochs)
+    clean_wall = time.perf_counter() - t0
+    clean_sim = clean_trainer.comm.now
+    clean_curve = [(h.train_loss, h.val_mae) for h in clean_hist]
+
+    plan = FaultPlan().rank_crash(step=crash_step, rank=1)
+    import tempfile
+    with tempfile.TemporaryDirectory(prefix="fault-bench-") as d:
+        ckpt = os.path.join(d, "recovery.npz")
+        t0 = time.perf_counter()
+        _, hist, report = train_with_recovery(
+            lambda: make_trainer(plan, ckpt, checkpoint_every), epochs)
+        faulted_wall = time.perf_counter() - t0
+    faulted_sim = report.total_seconds
+    faulted_curve = [(h.train_loss, h.val_mae) for h in hist]
+
+    return {
+        "world": world,
+        "epochs": epochs,
+        "steps_per_epoch": steps_per_epoch,
+        "crash_step": crash_step,
+        "checkpoint_every": checkpoint_every,
+        "restarts": report.restarts,
+        "curve_bitwise_equal": bool(clean_curve == faulted_curve),
+        "clean_sim_seconds": clean_sim,
+        "faulted_sim_seconds": faulted_sim,
+        "recovery_overhead_sim_pct":
+            100.0 * (faulted_sim - clean_sim) / clean_sim,
+        "clean_wall_seconds": clean_wall,
+        "faulted_wall_seconds": faulted_wall,
+        "recovery_overhead_wall_pct":
+            100.0 * (faulted_wall - clean_wall) / clean_wall,
+        "train_curve": [h.train_loss for h in hist],
+    }
+
+
+# ---------------------------------------------------------------------------
+# Scenario 2: serving failover latency + parity under load
+# ---------------------------------------------------------------------------
+def bench_failover(*, shards: int = 4, quick: bool = False) -> dict:
+    from repro.api import RunSpec, run, serve
+    from repro.runtime import FaultPlan
+    from repro.serving import LoadGenerator, ModelSession
+
+    requests = 80 if quick else 400
+    crash_at = requests // 2
+    result = run(RunSpec(dataset="pems-bay", scale="tiny", seed=SEED,
+                         epochs=1))
+    test = result.artifacts.loaders.test
+    pool, _ = test.batch_at(np.arange(test.batch_size))
+    pool = pool.copy()
+
+    local = ModelSession(result.artifacts.model,
+                         result.artifacts.loaders.scaler, spec=result.spec)
+    reference = local.predict(pool).copy()
+
+    plan = FaultPlan().worker_crash(shard=1, at_request=crash_at)
+    svc = serve(result, server="sharded", num_shards=shards, max_batch=8,
+                max_wait=0.002, fault_plan=plan,
+                service_time=lambda n: 0.0005 + 0.0001 * n)
+    gen = LoadGenerator(svc, pool, seed=SEED)
+    report = gen.closed_loop(requests=requests, concurrency=8,
+                             scenario="failover")
+
+    parity = float(np.max(np.abs(
+        svc.session.predict(pool) - reference)))
+    events = svc.failover_events
+    return {
+        "shards": shards,
+        "requests": requests,
+        "crash_at_request": crash_at,
+        "failovers": report.failovers,
+        "failover_p99_ms": report.failover_p99 * 1e3,
+        "failover_mode": events[0].mode if events else None,
+        "shards_after": events[0].num_shards_after if events else shards,
+        "parity_max_abs_err": parity,
+        "qps": report.qps,
+        "latency_p99_ms": report.latency_p99 * 1e3,
+        "mean_batch_size": report.mean_batch_size,
+    }
+
+
+def collect_faults(*, quick: bool = False, label: str = "") -> dict:
+    """Measure the fault scenario suite; returns the section dict."""
+    scenarios = {
+        "recovery_dist_index_w4": bench_recovery(quick=quick),
+        "failover_shard4_c8": bench_failover(quick=quick),
+    }
+    return {
+        "schema": FAULT_SCHEMA,
+        "label": label,
+        "created": time.strftime("%Y-%m-%dT%H:%M:%S"),
+        "config": {"seed": SEED, "quick": bool(quick),
+                   "parity_atol": PARITY_ATOL},
+        "scenarios": scenarios,
+    }
+
+
+# ---------------------------------------------------------------------------
+# Snapshot plumbing (shared conventions with serve_bench / dist_bench)
+# ---------------------------------------------------------------------------
+def validate_faults(section: dict) -> None:
+    """Raise ``ValueError`` unless ``section`` is a valid faults section."""
+    if not isinstance(section, dict) or section.get("schema") != FAULT_SCHEMA:
+        raise ValueError(f"not a {FAULT_SCHEMA} faults section")
+    for key in ("created", "config", "scenarios"):
+        if key not in section:
+            raise ValueError(f"faults section missing {key!r}")
+    scen = section["scenarios"]
+    for field in ("restarts", "curve_bitwise_equal",
+                  "recovery_overhead_sim_pct", "recovery_overhead_wall_pct",
+                  "checkpoint_every", "crash_step"):
+        if field not in scen.get("recovery_dist_index_w4", {}):
+            raise ValueError(f"recovery scenario missing {field!r}")
+    for field in ("failovers", "failover_p99_ms", "parity_max_abs_err",
+                  "qps"):
+        if field not in scen.get("failover_shard4_c8", {}):
+            raise ValueError(f"failover scenario missing {field!r}")
+
+
+def merge_into_snapshot(section: dict, path: str | Path) -> Path:
+    """Write ``section`` as the ``faults`` key of the snapshot, creating
+    a minimal (micro/training-empty) snapshot if none exists."""
+    from repro.profiling.bench import load_or_init_snapshot
+
+    validate_faults(section)
+    path = Path(path)
+    data = load_or_init_snapshot(path, label=section.get("label", ""),
+                                 created=section["created"])
+    data["faults"] = section
+    path.write_text(json.dumps(data, indent=2, sort_keys=False) + "\n")
+    return path
+
+
+def default_target(root: str | Path = ".") -> Path:
+    from benchmarks.serve_bench import default_target as _default
+    return _default(root)
+
+
+# ---------------------------------------------------------------------------
+# Diffing / gating
+# ---------------------------------------------------------------------------
+def check_regression(section: dict) -> list[str]:
+    """Failure messages for the section's own gates (empty = green).
+
+    The gates are the subsystem's two guarantees, not timing thresholds:
+    the recovered curve must be bitwise identical to the clean run, and
+    post-failover predictions must stay within the parity bound."""
+    validate_faults(section)
+    failures = []
+    rec = section["scenarios"]["recovery_dist_index_w4"]
+    if not rec["curve_bitwise_equal"]:
+        failures.append("checkpoint-resume diverged from the uninterrupted "
+                        "run (fixed-seed curves differ)")
+    if rec["restarts"] < 1:
+        failures.append("recovery scenario never crashed; the injected "
+                        "fault did not fire")
+    fo = section["scenarios"]["failover_shard4_c8"]
+    atol = section["config"].get("parity_atol", PARITY_ATOL)
+    if fo["parity_max_abs_err"] > atol:
+        failures.append(
+            f"post-failover predictions drifted {fo['parity_max_abs_err']:g}"
+            f" from the unsharded session (bound {atol:g})")
+    if fo["failovers"] < 1:
+        failures.append("failover scenario never failed over; the "
+                        "scheduled worker crash did not fire")
+    return failures
+
+
+def diff_faults(old: dict, new: dict) -> dict:
+    """Headline-metric comparison between two snapshots (lower = better).
+
+    The *new* snapshot must carry a faults section; the old one may
+    predate the subsystem (e.g. ``BENCH_4.json``), in which case its
+    values are reported as ``None`` instead of failing the diff.
+    """
+    if "faults" not in new:
+        raise ValueError("new snapshot has no faults section")
+    validate_faults(new["faults"])
+    o = None
+    if "faults" in old:
+        validate_faults(old["faults"])
+        o = old["faults"]["scenarios"]
+    n = new["faults"]["scenarios"]
+
+    def pick(scenario: str, field: str) -> dict:
+        return {"old": o[scenario][field] if o is not None else None,
+                "new": n[scenario][field]}
+
+    return {
+        "recovery_overhead_sim_pct":
+            pick("recovery_dist_index_w4", "recovery_overhead_sim_pct"),
+        "failover_p99_ms": pick("failover_shard4_c8", "failover_p99_ms"),
+    }
+
+
+def _format_section(section: dict) -> str:
+    rec = section["scenarios"]["recovery_dist_index_w4"]
+    fo = section["scenarios"]["failover_shard4_c8"]
+    return "\n".join([
+        f"fault suite ({'quick' if section['config']['quick'] else 'full'})",
+        f"  recovery_dist_index_w4: crash@{rec['crash_step']} "
+        f"ckpt-every-{rec['checkpoint_every']} -> {rec['restarts']} "
+        f"restart(s), overhead sim {rec['recovery_overhead_sim_pct']:+.1f}% "
+        f"wall {rec['recovery_overhead_wall_pct']:+.1f}%, parity "
+        f"{'OK' if rec['curve_bitwise_equal'] else 'BROKEN'}",
+        f"  failover_shard4_c8: {fo['failovers']} failover(s) "
+        f"({fo['failover_mode']}, {fo['shards_after']} shards after) "
+        f"p99 {fo['failover_p99_ms']:.2f} ms, parity err "
+        f"{fo['parity_max_abs_err']:.2e}, {fo['qps']:.0f} qps",
+    ])
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="fault_bench", description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter)
+    parser.add_argument("--quick", action="store_true",
+                        help="fast smoke mode: tiny workloads")
+    parser.add_argument("--out", type=Path, default=None,
+                        help="snapshot to merge the faults section into "
+                             "(default: newest BENCH_<n>.json here)")
+    parser.add_argument("--label", default="",
+                        help="free-form note recorded in the section")
+    parser.add_argument("--diff", nargs=2, metavar=("OLD", "NEW"),
+                        help="compare two snapshots' fault sections")
+    parser.add_argument("--fail-on-regression", action="store_true",
+                        help="exit 1 unless recovery is bitwise and "
+                             "failover parity holds")
+    args = parser.parse_args(argv)
+
+    if args.diff:
+        old = json.loads(Path(args.diff[0]).read_text())
+        new = json.loads(Path(args.diff[1]).read_text())
+        for name, d in diff_faults(old, new).items():
+            was = "(absent)" if d["old"] is None else f"{d['old']:.2f}"
+            print(f"  {name}: {was} -> {d['new']:.2f}")
+        return 0
+
+    section = collect_faults(quick=args.quick, label=args.label)
+    print(_format_section(section))
+    target = args.out if args.out is not None else default_target()
+    merge_into_snapshot(section, target)
+    print(f"merged faults section into {target}")
+    if args.fail_on_regression:
+        failures = check_regression(section)
+        for f in failures:
+            print(f"REGRESSION: {f}")
+        if failures:
+            return 1
+        print("regression gate green (bitwise recovery + failover parity)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -11,6 +11,9 @@ express (e.g. the OOM traces of the full-scale memory simulations).
 
 from __future__ import annotations
 
+import os
+import shutil
+import tempfile
 import time
 from dataclasses import dataclass, field
 from typing import Any
@@ -20,8 +23,15 @@ from repro.api.registry import BATCHINGS, DATASETS, MODELS, OPTIMIZERS
 from repro.api.scales import Scale, get_scale
 from repro.api.spec import RunSpec
 from repro.hardware.memory import MemorySpace
-from repro.runtime import ProcessGroup
+from repro.runtime import (
+    FaultPlan,
+    FaultyTransport,
+    ProcessGroup,
+    SimTransport,
+    ThreadTransport,
+)
 from repro.training.ddp import DDPStrategy, DDPTrainer
+from repro.training.recovery import train_with_recovery
 from repro.training.trainer import Trainer
 
 _DDP_STRATEGIES = {
@@ -79,6 +89,7 @@ class RunResult:
     best_val_mae: float
     runtime_seconds: float
     peak_bytes: int
+    restarts: int = 0  # failure-recovery relaunches (0 for fault-free runs)
     artifacts: RunArtifacts = field(repr=False, compare=False, default=None)
 
     @property
@@ -94,6 +105,7 @@ class RunResult:
             "best_val_mae": self.best_val_mae,
             "runtime_seconds": self.runtime_seconds,
             "peak_bytes": self.peak_bytes,
+            "restarts": self.restarts,
         }
 
 
@@ -132,30 +144,28 @@ def run(spec: RunSpec, *, scale: Scale | None = None,
     ctx = ModelContext(graph=ds.graph, horizon=horizon,
                        in_features=default_in_features(ds),
                        hidden_dim=scale.hidden_dim, seed=spec.seed)
-    model = MODELS.get(spec.model)(ctx)
-    trainable = [p for p in model.parameters() if p.requires_grad]
-    optimizer = OPTIMIZERS.get(spec.optimizer)(trainable, spec.lr)
-
     epochs = spec.epochs if spec.epochs is not None else scale.epochs
+    restarts = 0
     if spec.strategy == "single":
+        model = MODELS.get(spec.model)(ctx)
+        trainable = [p for p in model.parameters() if p.requires_grad]
+        optimizer = OPTIMIZERS.get(spec.optimizer)(trainable, spec.lr)
         trainer = Trainer(model, optimizer, bundle.train, bundle.val,
                           scaler=bundle.scaler, seed=spec.seed)
         history = trainer.fit(epochs, verbose=verbose)
+    elif spec.faults:
+        # Chaos scenario: inject the scheduled faults through a
+        # FaultyTransport and train with checkpoint/restart recovery.
+        # Every restart rebuilds model + optimizer from the seed and
+        # resumes from the last per-step checkpoint, so the finished
+        # curve is bitwise identical to a fault-free run.
+        trainer, history, report = _run_with_faults(
+            spec, ctx, bundle, epochs, verbose=verbose)
+        model, optimizer = trainer.model, trainer.optimizer
+        restarts = report.restarts
     else:
-        # The transport decides rank execution: 'sim' keeps sequential
-        # ranks with simulated cost accounting; 'thread' runs one real
-        # thread per rank on per-rank replicas (the model builder is
-        # deterministic in the seed, so replicas initialise identically).
-        if spec.transport == "thread":
-            pg = ProcessGroup.threads(spec.world_size)
-            factory = lambda: MODELS.get(spec.model)(ctx)  # noqa: E731
-        else:
-            pg = ProcessGroup.sim(spec.world_size)
-            factory = None
-        trainer = DDPTrainer(
-            model, optimizer, pg, bundle.train, bundle.val,
-            strategy=_DDP_STRATEGIES[spec.strategy], shuffle=spec.shuffle,
-            scaler=bundle.scaler, seed=spec.seed, model_factory=factory)
+        trainer = _build_ddp_trainer(spec, ctx, bundle)
+        model, optimizer = trainer.model, trainer.optimizer
         history = trainer.fit(epochs, verbose=verbose)
     runtime = time.perf_counter() - t0
 
@@ -167,6 +177,64 @@ def run(spec: RunSpec, *, scale: Scale | None = None,
         best_val_mae=trainer.best_val_mae(),
         runtime_seconds=runtime,
         peak_bytes=space.peak,
+        restarts=restarts,
         artifacts=RunArtifacts(dataset=ds, loaders=bundle, model=model,
                                optimizer=optimizer, trainer=trainer,
                                context=ctx))
+
+
+def _build_ddp_trainer(spec: RunSpec, ctx: ModelContext,
+                       bundle: LoaderBundle, *,
+                       plan: FaultPlan | None = None,
+                       checkpoint_path: str | None = None) -> DDPTrainer:
+    """One distributed trainer wired exactly as ``spec`` describes.
+
+    The single construction point for both the fault-free path and every
+    relaunch attempt of the fault path: model + optimizer built from the
+    seed, the transport chosen by ``spec.transport`` ('sim' = sequential
+    ranks with simulated cost accounting; 'thread' = one real thread per
+    rank on per-rank replicas — the model builder is deterministic in
+    the seed, so replicas initialise identically), optionally wrapped in
+    a :class:`FaultyTransport` and configured for per-step
+    checkpointing.
+    """
+    model = MODELS.get(spec.model)(ctx)
+    trainable = [p for p in model.parameters() if p.requires_grad]
+    optimizer = OPTIMIZERS.get(spec.optimizer)(trainable, spec.lr)
+    if spec.transport == "thread":
+        base = ThreadTransport(spec.world_size)
+        factory = lambda: MODELS.get(spec.model)(ctx)  # noqa: E731
+    else:
+        base = SimTransport(spec.world_size)
+        factory = None
+    transport = base if plan is None else FaultyTransport(base, plan)
+    return DDPTrainer(
+        model, optimizer, ProcessGroup(transport), bundle.train, bundle.val,
+        strategy=_DDP_STRATEGIES[spec.strategy], shuffle=spec.shuffle,
+        scaler=bundle.scaler, seed=spec.seed, model_factory=factory,
+        checkpoint_every=1 if checkpoint_path else None,
+        checkpoint_path=checkpoint_path)
+
+
+def _run_with_faults(spec: RunSpec, ctx: ModelContext, bundle: LoaderBundle,
+                     epochs: int, *, verbose: bool = False):
+    """Distributed training under an injected fault plan.
+
+    Builds a fresh trainer per attempt (the recovery contract: model,
+    optimizer and process group are relaunch state, only the checkpoint
+    survives) and hands the relaunch loop to
+    :func:`~repro.training.recovery.train_with_recovery`.  Checkpoints
+    land in a private temp directory, every step — maximal coverage for
+    the tiny scales ``run`` executes at; cadence-sensitive recovery
+    costs are the fault benchmark's job.
+    """
+    plan = FaultPlan.from_spec(spec.faults, seed=spec.seed)
+    ckpt_dir = tempfile.mkdtemp(prefix="repro-faults-")
+    ckpt = os.path.join(ckpt_dir, "recovery.npz")
+    try:
+        return train_with_recovery(
+            lambda: _build_ddp_trainer(spec, ctx, bundle, plan=plan,
+                                       checkpoint_path=ckpt),
+            epochs, verbose=verbose)
+    finally:
+        shutil.rmtree(ckpt_dir, ignore_errors=True)

@@ -44,6 +44,12 @@ def _build_local_session(model, scaler, dataset, spec, *, max_batch: int = 32,
                          store_capacity: int | None = None,
                          **_ignored) -> ModelSession:
     """Single-worker session with an attached sliding-window store."""
+    # Chaos knobs only make sense with shard workers to kill; swallowing
+    # them here would report a vacuously perfect fault-free "chaos" run.
+    for knob in ("fault_plan", "num_standby"):
+        if _ignored.get(knob):
+            raise ValueError(f"{knob} requires server='sharded'; the local "
+                             f"session has no workers to fail over")
     session = ModelSession(model, scaler, spec=spec, max_batch=max_batch)
     if scaler is not None and dataset is not None:
         session.attach_store(FeatureStore.for_dataset(
@@ -57,8 +63,15 @@ def _build_sharded_session(model, scaler, dataset, spec, *,
                            max_batch: int = 32, num_shards: int = 2,
                            receptive_hops: int | None = None,
                            store_capacity: int | None = None,
+                           num_standby: int = 0, fault_plan=None,
                            **_ignored) -> ShardedSession:
-    """Partitioned multi-worker session with halo-exchange accounting."""
+    """Partitioned multi-worker session with halo-exchange accounting.
+
+    ``num_standby`` spare replicas and a ``fault_plan`` (scheduled
+    ``worker_crash`` events) flow straight into the session's failover
+    machinery — ``serve(result, server="sharded", num_standby=1,
+    fault_plan=plan)`` is the chaos-serving entry point.
+    """
     if dataset is None:
         raise ValueError("sharded serving needs the sensor graph; serve a "
                          "RunResult or a spec-embedding checkpoint")
@@ -66,6 +79,7 @@ def _build_sharded_session(model, scaler, dataset, spec, *,
                           num_shards=num_shards, spec=spec,
                           max_batch=max_batch, receptive_hops=receptive_hops,
                           store_capacity=store_capacity,
+                          num_standby=num_standby, fault_plan=fault_plan,
                           add_time_feature=dataset.spec.domain == "traffic")
 
 

@@ -64,6 +64,15 @@ class RunSpec:
         DDP shuffle mode override (``None`` = the strategy's default).
     epochs:
         override of the scale preset's epoch budget (``None`` = preset).
+    faults:
+        optional chaos schedule: a tuple of encoded
+        :class:`~repro.runtime.faults.FaultEvent` strings (e.g.
+        ``("rank_crash:step=3,rank=1",)`` — the
+        :meth:`~repro.runtime.faults.FaultPlan.to_spec` form).  The
+        executor injects the plan through a
+        :class:`~repro.runtime.faults.FaultyTransport` and trains with
+        checkpoint/restart recovery, so the run completes with the same
+        curve as a fault-free run.  Requires a distributed strategy.
     """
 
     dataset: str
@@ -78,6 +87,7 @@ class RunSpec:
     shuffle: str | None = None
     epochs: int | None = None
     transport: str = "sim"
+    faults: tuple | None = None
 
     # ------------------------------------------------------------------
     def __post_init__(self):
@@ -121,6 +131,24 @@ class RunSpec:
         if self.strategy == "single" and self.transport != "sim":
             raise ValueError("strategy 'single' has no rank execution to "
                              "distribute; transport must stay 'sim'")
+        if self.faults is not None:
+            # Normalise (JSON round-trips tuples as lists) then validate
+            # by actually parsing the plan — a typo'd event fails here,
+            # before any data is generated.
+            from repro.runtime.faults import FaultPlan
+
+            object.__setattr__(self, "faults", tuple(self.faults))
+            if self.strategy == "single":
+                raise ValueError(
+                    "fault injection rides on the DDP recovery path; pick "
+                    "a distributed strategy (or drop faults)")
+            plan = FaultPlan.from_spec(self.faults, seed=self.seed)
+            for ev in plan.events:
+                if (ev.kind in ("rank_crash", "straggler")
+                        and ev.rank >= self.world_size):
+                    raise ValueError(
+                        f"fault event {ev.encode()!r} targets rank "
+                        f"{ev.rank} but world_size is {self.world_size}")
 
     # ------------------------------------------------------------------
     def to_dict(self) -> dict:

@@ -9,9 +9,18 @@ Layering (bottom up):
 - :mod:`repro.runtime.buckets` — gradient bucketing for DDP all-reduce.
 - :mod:`repro.runtime.process_group` — the :class:`ProcessGroup` facade
   trainers, serving and the performance model consume.
+- :mod:`repro.runtime.faults` — deterministic fault injection
+  (:class:`FaultPlan` schedules, :class:`FaultyTransport` wrapper) for
+  the chaos test tier and recovery benchmarks.
 """
 
 from repro.runtime.buckets import BucketLayout, BucketSlot, GradientBucketer
+from repro.runtime.faults import (
+    FaultEvent,
+    FaultPlan,
+    FaultyTransport,
+    RankFailure,
+)
 from repro.runtime.collectives import (
     all_gather,
     all_reduce,
@@ -33,6 +42,10 @@ __all__ = [
     "SimTransport",
     "ThreadTransport",
     "CommStats",
+    "FaultEvent",
+    "FaultPlan",
+    "FaultyTransport",
+    "RankFailure",
     "ProcessGroup",
     "as_process_group",
     "GradientBucketer",

@@ -275,11 +275,17 @@ class ThreadTransport:
             return [timed(rank) for rank in range(self.world_size)]
         futures = [self._ensure_pool().submit(timed, rank)
                    for rank in range(self.world_size)]
-        # Two passes: wait for everything first, then raise the first
-        # failure (if any) with no rank still running.
+        # Two passes: wait for everything first (the join barrier), then
+        # raise the lowest-rank failure with no rank still mid-step.  A
+        # failed step also tears the worker pool down — otherwise the
+        # rank threads outlive the exception with nobody left to call
+        # shutdown(), and an interpreter exit blocks joining them.  The
+        # pool is rebuilt lazily, so a recovered trainer can keep using
+        # this transport.
         done = [f.exception() for f in futures]
         for exc in done:
             if exc is not None:
+                self.shutdown()
                 raise exc
         return [f.result() for f in futures]
 

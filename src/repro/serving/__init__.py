@@ -24,9 +24,15 @@ from repro.serving.loadgen import LoadGenerator, LoadReport
 from repro.serving.queue import ForecastRequest, MicroBatchQueue
 from repro.serving.service import Forecast, ForecastService, ManualClock, ServiceStats
 from repro.serving.session import ModelSession
-from repro.serving.sharding import ShardedSession, ShardWorker, halo_nodes
+from repro.serving.sharding import (
+    FailoverEvent,
+    ShardedSession,
+    ShardWorker,
+    halo_nodes,
+)
 
 __all__ = [
+    "FailoverEvent",
     "FeatureStore",
     "Forecast",
     "ForecastRequest",

@@ -52,6 +52,8 @@ class LoadReport:
     deadline_misses: int
     utilization: float           # model-busy seconds / duration
     seed: int
+    failovers: int = 0           # shard failovers observed during the run
+    failover_p99: float = 0.0    # p99 failover rebuild latency (wall s)
 
     def to_dict(self) -> dict:
         return {k: (v if not isinstance(v, float) else float(v))
@@ -124,10 +126,20 @@ class LoadGenerator:
             self.clock.advance_to(self.clock.now + (remaining or 0.0))
             sink.extend(self.service.poll())
 
+    def _failover_mark(self) -> int:
+        """How many failovers the service has logged so far (0 for
+        sessions without a failover path, e.g. ``ModelSession``)."""
+        return len(self.service.failover_events)
+
     def _report(self, scenario: str, mode: str, done: list[Forecast],
                 start: float, offered_qps: float | None,
-                busy_before: float, batches_before: int) -> LoadReport:
+                busy_before: float, batches_before: int,
+                failovers_before: int = 0) -> LoadReport:
         duration = self.clock.now - start
+        failover_secs = np.array(
+            [ev.seconds for ev in
+             self.service.failover_events[failovers_before:]],
+            dtype=np.float64)
         lat = np.array([fc.latency for fc in done], dtype=np.float64)
         waits = np.array([fc.queue_wait for fc in done], dtype=np.float64)
         sizes = np.array([fc.batch_size for fc in done], dtype=np.float64)
@@ -149,7 +161,10 @@ class LoadGenerator:
             batches=batches,
             deadline_misses=sum(fc.deadline_missed for fc in done),
             utilization=busy / duration if duration > 0 else 0.0,
-            seed=self.seed)
+            seed=self.seed,
+            failovers=len(failover_secs),
+            failover_p99=(float(np.percentile(failover_secs, 99))
+                          if len(failover_secs) else 0.0))
 
     # ------------------------------------------------------------------
     def closed_loop(self, *, requests: int, concurrency: int = 8,
@@ -161,6 +176,7 @@ class LoadGenerator:
         svc = self.service
         start = self.clock.now
         busy0, batches0 = svc.stats.busy_seconds, svc.stats.batches
+        failover0 = self._failover_mark()
         # (time, tiebreak, client) submission events.  The main loop always
         # processes the earlier of {next submission, coalescing timer}, so
         # simulated time advances monotonically through both.
@@ -200,7 +216,7 @@ class LoadGenerator:
             else:                                  # pragma: no cover
                 raise RuntimeError("closed loop stalled: no events, no queue")
         return self._report(scenario, "closed", done, start, None,
-                            busy0, batches0)
+                            busy0, batches0, failover0)
 
     # ------------------------------------------------------------------
     def open_loop(self, *, requests: int, rate_qps: float,
@@ -221,6 +237,7 @@ class LoadGenerator:
         svc = self.service
         start = self.clock.now
         busy0, batches0 = svc.stats.busy_seconds, svc.stats.batches
+        failover0 = self._failover_mark()
         arrivals = start + np.cumsum(gaps)
         done: list[Forecast] = []
         for t in arrivals:
@@ -232,4 +249,4 @@ class LoadGenerator:
             done.extend(svc.poll())
         self._drain(done)
         return self._report(scenario, "open", done, start, float(rate_qps),
-                            busy0, batches0)
+                            busy0, batches0, failover0)

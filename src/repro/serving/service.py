@@ -113,6 +113,12 @@ class ForecastService:
     def ingest(self, values: np.ndarray, timestamp_minutes: float) -> None:
         self.session.ingest(values, timestamp_minutes)
 
+    @property
+    def failover_events(self) -> list:
+        """Shard failovers the session has survived (empty for local
+        sessions, which have no failover path)."""
+        return list(getattr(self.session, "failover_events", ()))
+
     def _check_window(self, window: np.ndarray | None) -> np.ndarray | None:
         """Reject malformed windows at the door: a bad request must fail
         its own caller, never poison the micro-batch it would have been

@@ -19,10 +19,25 @@ full input (``receptive_hops=None``, the default), which makes sharded
 predictions bitwise identical to single-shard inference; passing a finite
 ``receptive_hops`` truncates the halo to a k-hop neighbourhood and
 zero-fills the rest — cheaper traffic, approximate forecasts.
+
+**Failover.**  A :class:`ShardWorker` can die (killed explicitly via
+:meth:`ShardedSession.kill_worker`, or on schedule through a
+:class:`~repro.runtime.faults.FaultPlan` ``worker_crash`` event); its
+store state is lost.  The session detects the death lazily at the next
+serving-path touch and fails over: a standby replica is promoted onto
+the dead shard's exact ownership when one is available, otherwise the
+survivors re-partition the graph, and in both cases the rebuilt feature
+stores are warmed by replaying the session's bounded raw-observation
+log.  Replayed ingests run the exact standardization arithmetic of the
+originals, so post-failover predictions equal the unsharded session's —
+the chaos tier pins this, and every failover's rebuild latency is
+recorded as a :class:`FailoverEvent`.
 """
 
 from __future__ import annotations
 
+import time
+from collections import deque
 from dataclasses import dataclass
 from typing import Any
 
@@ -68,6 +83,18 @@ class ShardWorker:
     store: FeatureStore | None  # owned-column observations only
     assemble: np.ndarray        # [horizon, num_nodes, features] input buffer
     own_window: np.ndarray      # [horizon, len(owned), features] scratch
+    alive: bool = True          # dead workers trigger failover on detection
+
+
+@dataclass(frozen=True)
+class FailoverEvent:
+    """One completed failover: which shards died and what it cost."""
+
+    shards: tuple[int, ...]     # shard ids that were dead when detected
+    mode: str                   # "standby" | "repartition"
+    seconds: float              # wall time to rebuild workers + replay state
+    at_request: int             # requests_served when the failure surfaced
+    num_shards_after: int
 
 
 class ShardedSession:
@@ -88,7 +115,8 @@ class ShardedSession:
                  max_batch: int = 32, receptive_hops: int | None = None,
                  store_capacity: int | None = None,
                  comm: ProcessGroup | None = None,
-                 add_time_feature: bool | None = None):
+                 add_time_feature: bool | None = None,
+                 num_standby: int = 0, fault_plan: Any = None):
         self.model = model.eval()
         self.scaler = scaler
         self.graph = graph
@@ -111,25 +139,20 @@ class ShardedSession:
         if add_time_feature is None:
             add_time_feature = self._guess_time_feature()
         self.add_time_feature = bool(add_time_feature)
-        self.workers: list[ShardWorker] = []
-        for s in range(self.num_shards):
-            owned = np.flatnonzero(self.assignment == s)
-            halo = halo_nodes(graph.weights, owned, receptive_hops,
-                              self.num_nodes)
-            store = None
-            if scaler is not None:
-                store = FeatureStore(
-                    scaler, num_nodes=len(owned),
-                    raw_features=self.in_features
-                    - int(self.add_time_feature),
-                    capacity=capacity,
-                    add_time_feature=self.add_time_feature)
-            self.workers.append(ShardWorker(
-                shard_id=s, owned=owned, halo=halo, store=store,
-                assemble=np.zeros((self.horizon, self.num_nodes,
-                                   self.in_features), np.float32),
-                own_window=np.empty((self.horizon, len(owned),
-                                     self.in_features), np.float32)))
+        self._store_capacity = capacity
+        # Fault tolerance: spare replica slots, the scheduled chaos plan,
+        # and a bounded raw-observation log (one full store capacity) that
+        # failover replays into rebuilt workers' feature stores.
+        self.num_standby = int(num_standby)
+        self.standby = self.num_standby
+        self.fault_plan = fault_plan
+        self._fault_fired: set[int] = set()
+        self.failover_events: list[FailoverEvent] = []
+        self.faults_dropped: list[str] = []
+        self._ingest_log: deque = deque(maxlen=capacity)
+        self.workers: list[ShardWorker] = [
+            self._build_worker(s, np.flatnonzero(self.assignment == s))
+            for s in range(self.num_shards)]
         self._in_buf = np.empty(
             (self.max_batch, self.horizon, self.num_nodes, self.in_features),
             dtype=np.float32)
@@ -137,6 +160,24 @@ class ShardedSession:
         self._window_buf = np.empty(
             (self.horizon, self.num_nodes, self.in_features), np.float32)
         self.requests_served = 0
+
+    def _build_worker(self, shard_id: int, owned: np.ndarray) -> ShardWorker:
+        """One shard worker owning ``owned``, with fresh halo/store/buffers."""
+        halo = halo_nodes(self.graph.weights, owned, self.receptive_hops,
+                          self.num_nodes)
+        store = None
+        if self.scaler is not None:
+            store = FeatureStore(
+                self.scaler, num_nodes=len(owned),
+                raw_features=self.in_features - int(self.add_time_feature),
+                capacity=self._store_capacity,
+                add_time_feature=self.add_time_feature)
+        return ShardWorker(
+            shard_id=shard_id, owned=owned, halo=halo, store=store,
+            assemble=np.zeros((self.horizon, self.num_nodes,
+                               self.in_features), np.float32),
+            own_window=np.empty((self.horizon, len(owned),
+                                 self.in_features), np.float32))
 
     def _guess_time_feature(self) -> bool:
         # Fallback when the builder did not say (direct construction
@@ -156,16 +197,124 @@ class ShardedSession:
         return int(self.assignment[node])
 
     # ------------------------------------------------------------------
+    # Fault tolerance: detection, standby promotion, re-partitioning
+    # ------------------------------------------------------------------
+    def kill_worker(self, shard_id: int) -> None:
+        """Mark a shard worker dead; its local store state is *lost*.
+
+        Failover happens at the next serving-path touch (detection is
+        lazy, like a missed heartbeat), through :meth:`_ensure_healthy`.
+        """
+        if not 0 <= shard_id < len(self.workers):
+            raise IndexError(f"shard {shard_id} out of range "
+                             f"[0, {len(self.workers)})")
+        w = self.workers[shard_id]
+        w.alive = False
+        w.store = None
+
+    def _maybe_inject_faults(self) -> None:
+        """Fire any scheduled ``worker_crash`` events that are due.
+
+        A due event whose target shard no longer exists (a repartition
+        shrank the worker list) or is already dead cannot be delivered;
+        it is recorded in :attr:`faults_dropped` instead of silently
+        vanishing, so a chaos run can assert its schedule was consumed.
+        """
+        if self.fault_plan is None:
+            return
+        for i, ev in self.fault_plan.serving_events():
+            if i in self._fault_fired or self.requests_served < ev.request:
+                continue
+            self._fault_fired.add(i)
+            if ev.shard < len(self.workers) and self.workers[ev.shard].alive:
+                self.kill_worker(ev.shard)
+            else:
+                self.faults_dropped.append(ev.encode())
+
+    def _ensure_healthy(self) -> None:
+        """Serving-path gate: inject due faults, then fail over any dead
+        workers before a request touches them."""
+        self._maybe_inject_faults()
+        if any(not w.alive for w in self.workers):
+            self._failover()
+
+    def _failover(self) -> None:
+        """Rebuild serving capacity after worker deaths.
+
+        If enough standby replicas remain to cover *every* dead shard,
+        each one is *promoted onto a standby*: same ownership, fresh
+        store replayed from the observation log — the partition (and
+        therefore every halo set) is unchanged.  Otherwise the survivors
+        *re-partition*: the graph is re-split over the largest
+        power-of-two shard count the surviving workers support (the
+        partitioner's constraint), every store is rebuilt from the log,
+        and any standby capacity is deliberately *retained* for a later
+        failure rather than half-spent on a partition that is being
+        discarded anyway.  Either way, post-failover windows are
+        assembled from the same replayed observations the dead worker
+        held, so predictions stay shard-invariant.
+        """
+        t0 = time.perf_counter()
+        dead = tuple(w.shard_id for w in self.workers if not w.alive)
+        alive = [w for w in self.workers if w.alive]
+        if self.standby >= len(dead):
+            self.standby -= len(dead)
+            for shard_id in dead:
+                old = self.workers[shard_id]
+                fresh = self._build_worker(shard_id, old.owned)
+                self._replay_into(fresh)
+                self.workers[shard_id] = fresh
+            mode = "standby"
+        else:
+            if not alive:
+                raise RuntimeError(
+                    f"every shard worker is dead ({len(dead)} down) and "
+                    f"{self.standby} standby replica(s) cannot cover them; "
+                    f"the sharded session cannot recover")
+            new_num = 1 << (len(alive).bit_length() - 1)
+            self.num_shards = new_num
+            self.assignment = partition_graph(self.graph.weights, new_num)
+            self.workers = [
+                self._build_worker(s, np.flatnonzero(self.assignment == s))
+                for s in range(new_num)]
+            for w in self.workers:
+                self._replay_into(w)
+            mode = "repartition"
+        self.failover_events.append(FailoverEvent(
+            shards=dead, mode=mode, seconds=time.perf_counter() - t0,
+            at_request=self.requests_served,
+            num_shards_after=len(self.workers)))
+
+    def _replay_into(self, worker: ShardWorker) -> None:
+        """Warm a rebuilt worker's store from the raw observation log."""
+        if worker.store is None:
+            return
+        for values, ts in self._ingest_log:
+            worker.store.ingest(values[worker.owned], ts)
+
+    # ------------------------------------------------------------------
     # Streaming observations (scattered to owner shards)
     # ------------------------------------------------------------------
     def ingest(self, values: np.ndarray, timestamp_minutes: float) -> None:
         """Scatter one full observation row to each shard's local store."""
+        self._ensure_healthy()
         values = np.asarray(values)
+        # Validate the *full* row here: each shard's store only ever sees
+        # its owned slice, which can be shape-valid even when the row is
+        # not (fancy indexing happily slices an over-long row).
+        raw = self.in_features - int(self.add_time_feature)
+        if values.shape != (self.num_nodes, raw):
+            raise ShapeError(f"expected a {(self.num_nodes, raw)} "
+                             f"observation row, got {values.shape}")
         for w in self.workers:
             if w.store is None:
                 raise RuntimeError("sharded session built without a scaler "
                                    "has no stores to ingest into")
             w.store.ingest(values[w.owned], timestamp_minutes)
+        # Log only rows every store accepted: a rejected malformed row
+        # must fail its caller, never linger to poison a later failover
+        # replay.
+        self._ingest_log.append((values.copy(), float(timestamp_minutes)))
 
     # ------------------------------------------------------------------
     # Inference
@@ -192,6 +341,7 @@ class ShardedSession:
         With an exact halo every shard sees identical input, so the merge
         is bitwise identical to unsharded inference.
         """
+        self._ensure_healthy()
         windows = np.asarray(windows)
         if windows.ndim == 3:
             windows = windows[None]
@@ -252,6 +402,7 @@ class ShardedSession:
         Returns an owned copy (like :meth:`ModelSession.current_window`):
         callers may hold it across later ingests — a queued request must
         keep the snapshot it was submitted with."""
+        self._ensure_healthy()
         out = self._window_buf
         for w in self.workers:
             if w.store is None:
@@ -264,6 +415,7 @@ class ShardedSession:
     def forecast_current(self) -> np.ndarray:
         """Forecast every sensor from the shards' stores: each shard
         assembles its halo, forwards, and contributes its owned rows."""
+        self._ensure_healthy()
         for w in self.workers:
             x = self._assemble_from_stores(w)
             shard_out = self._forward(x[None])[0]
@@ -275,6 +427,7 @@ class ShardedSession:
         """Route a per-sensor request: only the owner shards of ``nodes``
         (plus their halo peers) do work.  Returns ``[horizon, len(nodes)]``
         standardized predictions in request order."""
+        self._ensure_healthy()
         nodes = np.atleast_1d(np.asarray(nodes))
         out = np.empty((self.horizon, len(nodes)), np.float32)
         involved = np.unique(self.assignment[nodes])
@@ -302,4 +455,7 @@ class ShardedSession:
             "owned_sizes": [int(len(w.owned)) for w in self.workers],
             "bytes_by_category": dict(self.comm.stats.bytes_by_category),
             "ops": self.comm.stats.ops,
+            "failovers": len(self.failover_events),
+            "standby_remaining": self.standby,
+            "faults_dropped": list(self.faults_dropped),
         }

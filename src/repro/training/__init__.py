@@ -11,6 +11,7 @@ from repro.training.metrics import (
     mse,
     rmse,
 )
+from repro.training.recovery import RecoveryReport, train_with_recovery
 from repro.training.replicated import ReplicatedDDPTrainer
 from repro.training.step import average_and_apply, clip_and_step
 from repro.training.trainer import EpochRecord, Trainer
@@ -31,6 +32,8 @@ __all__ = [
     "average_and_apply",
     "save_checkpoint",
     "load_checkpoint",
+    "RecoveryReport",
+    "train_with_recovery",
     "evaluate_by_horizon",
     "HorizonMetrics",
 ]

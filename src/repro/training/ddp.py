@@ -99,7 +99,9 @@ class DDPTrainer:
                  batch_bytes_fn: Callable[[int], int] | None = None,
                  seed: int | str = 0,
                  model_factory: Callable[[], STModel] | None = None,
-                 bucket_cap_mb: float = 25.0):
+                 bucket_cap_mb: float = 25.0,
+                 checkpoint_every: int | None = None,
+                 checkpoint_path: str | None = None):
         """
         Parameters
         ----------
@@ -121,6 +123,14 @@ class DDPTrainer:
             steps may run concurrently on a parallel transport.
         bucket_cap_mb: gradient-bucket capacity; small models fuse into
             one bucket (a single all-reduce per step).
+        checkpoint_every: write a resumable training checkpoint to
+            ``checkpoint_path`` every this many global steps (``None`` =
+            never).  A run killed between checkpoints resumes from the
+            last one and replays the missing steps bitwise (see
+            :meth:`resume`).
+        checkpoint_path: where periodic checkpoints land (atomic
+            overwrite of one ``.npz``); required when
+            ``checkpoint_every`` is set.
         """
         self.model = model
         self.optimizer = optimizer
@@ -146,6 +156,19 @@ class DDPTrainer:
         self.step_time_fn = step_time_fn or self._default_step_time
         self.batch_bytes_fn = batch_bytes_fn or self._default_batch_bytes
         self.history: list[DDPEpochRecord] = []
+        if checkpoint_every is not None:
+            if checkpoint_every < 1:
+                raise ValueError(f"checkpoint_every must be >= 1, "
+                                 f"got {checkpoint_every}")
+            if checkpoint_path is None:
+                raise ValueError("checkpoint_every needs a checkpoint_path")
+        self.checkpoint_every = checkpoint_every
+        self.checkpoint_path = checkpoint_path
+        self.global_step = 0
+        self._resume_cursor: tuple[int, int, list[float]] | None = None
+        # Fault-injecting transports expose begin_step; everything else
+        # simply has no hook to notify.
+        self._begin_step = getattr(self.comm.transport, "begin_step", None)
         self._param_bytes = sum(
             p.nbytes for p in optimizer.params if p.requires_grad)
 
@@ -249,7 +272,13 @@ class DDPTrainer:
         return float(loss.item())
 
     def train_epoch(self, epoch: int) -> float:
-        """One synchronized epoch across all ranks; returns mean loss."""
+        """One synchronized epoch across all ranks; returns mean loss.
+
+        A trainer resumed mid-epoch (see :meth:`resume`) skips the steps
+        the checkpoint already applied and folds their recorded losses
+        into the epoch mean, so the resumed curve is bitwise identical
+        to an uninterrupted run.
+        """
         for m in self._replicas or [self.model]:
             m.train()
         plan = self.sampler.epoch_plan(epoch)
@@ -258,8 +287,14 @@ class DDPTrainer:
             raise CommunicatorError(
                 "epoch plan has a rank with zero batches; reduce world size "
                 "or batch size")
-        losses = []
-        for step in range(steps):
+        start_step, losses = 0, []
+        if self._resume_cursor is not None and self._resume_cursor[0] == epoch:
+            _, start_step, losses = self._resume_cursor
+            self._resume_cursor = None
+        for step in range(start_step, steps):
+            if self._begin_step is not None:
+                self._begin_step(self.global_step)
+
             def rank_step(rank: int) -> float:
                 sel = plan[rank][step]
                 self._charge_rank_compute(rank, len(sel))
@@ -270,10 +305,108 @@ class DDPTrainer:
             self._charge_data_comm(len(plan[0][step]))
             average_and_apply(self.comm, self.bucketer, self._grad_bufs,
                               [self.optimizer], category="gradient")
+            self.global_step += 1
+            if (self.checkpoint_every
+                    and self.global_step % self.checkpoint_every == 0):
+                self.save_training_checkpoint(
+                    epoch=epoch, step=step + 1, losses=losses)
         return float(np.mean(losses))
 
     def _charge_rank_compute(self, rank: int, batch: int) -> None:
         self.comm.advance_compute(rank, self.step_time_fn(batch))
+
+    # ------------------------------------------------------------------
+    # Checkpoint / resume (the fault-tolerance seam)
+    # ------------------------------------------------------------------
+    def save_training_checkpoint(self, path: str | None = None, *,
+                                 epoch: int | None = None, step: int = 0,
+                                 losses: list[float] | None = None) -> str:
+        """Atomically write a *resumable* checkpoint: model + optimizer
+        slots plus the training cursor (epoch, step-in-epoch, the epoch's
+        per-rank losses so far) and completed-epoch history.
+
+        ``step`` is the number of steps of ``epoch`` already applied;
+        everything needed to replay the rest of the run bitwise is in the
+        archive — the samplers are pure functions of (seed, epoch), so no
+        RNG state needs to survive.
+        """
+        from repro.training.checkpoint import save_checkpoint
+
+        path = path or self.checkpoint_path
+        if path is None:
+            raise ValueError("no checkpoint path configured or given")
+        state = {
+            "epoch": int(len(self.history) if epoch is None else epoch),
+            "step": int(step),
+            "global_step": int(self.global_step),
+            "epoch_losses": [float(x) for x in (losses or [])],
+            "world_size": int(self.world_size),
+            "strategy": self.strategy.value,
+            "shuffle": self.shuffle,
+            "seed": self.seed,
+            "history": [vars(r).copy() for r in self.history],
+        }
+        scaler = (self.scaler
+                  if self.scaler is not None and self.scaler.fitted else None)
+        save_checkpoint(path, self.model, self.optimizer,
+                        epoch=state["epoch"],
+                        extra={"training_state": state}, scaler=scaler)
+        return path
+
+    def resume(self, path: str | None = None) -> dict:
+        """Restore a :meth:`save_training_checkpoint` archive in place.
+
+        Validates that this trainer describes the *same run*: a
+        different ``world_size``, ``strategy``, ``shuffle`` or ``seed``
+        changes every gradient average or the data order itself, so a
+        bitwise-identical continuation is impossible and the mismatch
+        fails loudly here.  The *transport* may differ — ``sim`` and
+        ``thread`` ranks train identical bits (pinned by the runtime
+        suite), so a run checkpointed under one resumes under the other.
+
+        Charges the parameter re-broadcast every real recovery performs
+        (rank 0 restores, peers pull) under the ``"recovery"`` traffic
+        category, then positions the trainer so the next :meth:`fit`
+        continues mid-epoch.  Returns the checkpoint metadata.
+        """
+        from repro.training.checkpoint import load_checkpoint, \
+            read_checkpoint_meta
+
+        path = path or self.checkpoint_path
+        if path is None:
+            raise ValueError("no checkpoint path configured or given")
+        meta = read_checkpoint_meta(path)
+        state = (meta.get("extra") or {}).get("training_state")
+        if state is None:
+            raise ValueError(
+                f"{path} is not a resumable training checkpoint (no "
+                f"training cursor); write it with save_training_checkpoint")
+        if int(state["world_size"]) != self.world_size:
+            raise ValueError(
+                f"checkpoint was written by a world of "
+                f"{state['world_size']} ranks but this trainer has "
+                f"{self.world_size}: gradient averaging over a different "
+                f"world changes every update, so a bitwise continuation "
+                f"is impossible — rebuild the trainer with world_size="
+                f"{state['world_size']} or restart from scratch")
+        for field_name, mine in (("strategy", self.strategy.value),
+                                 ("shuffle", self.shuffle),
+                                 ("seed", self.seed)):
+            if state[field_name] != mine:
+                raise ValueError(
+                    f"checkpoint {field_name}={state[field_name]!r} does "
+                    f"not match this trainer's {mine!r}; the data order "
+                    f"diverges, so resuming cannot reproduce the run")
+        load_checkpoint(path, self.model, self.optimizer)
+        self.history = [DDPEpochRecord(**r) for r in state["history"]]
+        self.global_step = int(state["global_step"])
+        self._resume_cursor = (int(state["epoch"]), int(state["step"]),
+                               [float(x) for x in state["epoch_losses"]])
+        # Real recovery re-broadcasts the restored parameters from the
+        # restoring rank to every peer before training continues.
+        self.comm.transport.collective("broadcast", self._param_bytes,
+                                       "recovery")
+        return meta
 
     # ------------------------------------------------------------------
     def evaluate(self, loader=None, max_batches: int | None = None) -> float:
@@ -322,7 +455,9 @@ class DDPTrainer:
     def fit(self, epochs: int, *, scheduler=None,
             eval_max_batches: int | None = None,
             verbose: bool = False) -> list[DDPEpochRecord]:
-        for epoch in range(epochs):
+        start_epoch = (self._resume_cursor[0]
+                       if self._resume_cursor is not None else 0)
+        for epoch in range(start_epoch, epochs):
             t0 = self.comm.now
             c0 = self.comm.elapsed_breakdown()
             loss = self.train_epoch(epoch)

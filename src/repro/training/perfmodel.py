@@ -60,6 +60,13 @@ ACTIVATION_FACTOR = 2.0  # fp32 units kept per (batch, step, node, hidden)
 # paper's 64/128-GPU scaling knee (§5.3.1).  Applies to every multi-worker
 # strategy; single-GPU runs have no DDP layer.
 EPOCH_FIXED_OVERHEAD = 3.7
+# Fixed cost of one failure-recovery cycle: scheduler relaunch, worker
+# re-spawn and NCCL re-initialisation before any state moves (order of a
+# PBS requeue on Polaris).
+RESTART_FIXED_OVERHEAD = 30.0
+# fp32 units persisted per trainable parameter in a training checkpoint:
+# the weights plus both Adam moment slots.
+CHECKPOINT_STATE_FACTOR = 3
 
 
 # ---------------------------------------------------------------------------
@@ -168,11 +175,12 @@ class EpochBreakdown:
     grad_comm: float = 0.0
     validation: float = 0.0
     framework: float = 0.0
+    recovery: float = 0.0   # expected checkpoint + failure-recovery share
 
     @property
     def total(self) -> float:
         return (self.compute + self.h2d + self.data_comm + self.grad_comm
-                + self.validation + self.framework)
+                + self.validation + self.framework + self.recovery)
 
     @property
     def comm(self) -> float:
@@ -349,14 +357,78 @@ class TrainingPerfModel:
                       ops=steps)
         return pg
 
+    # -- fault tolerance --------------------------------------------------
+    def checkpoint_bytes(self) -> int:
+        """Bytes one training checkpoint persists (weights + Adam slots)."""
+        return CHECKPOINT_STATE_FACTOR * self.model.param_bytes
+
+    def checkpoint_seconds(self) -> float:
+        """Writing one checkpoint to the shared PFS."""
+        return self.checkpoint_bytes() / PFS_EFFECTIVE_BW
+
+    def recovery_seconds(self, world: int = 1) -> float:
+        """One failure-recovery cycle, *excluding* lost work: relaunch,
+        checkpoint read-back, and the parameter re-broadcast from the
+        restoring rank to every peer (the traffic ``DDPTrainer.resume``
+        charges under the ``"recovery"`` category)."""
+        cost = CommCostModel(ClusterTopology(world, self.node))
+        return (RESTART_FIXED_OVERHEAD
+                + self.checkpoint_seconds()
+                + cost.broadcast_time(self.model.param_bytes))
+
+    def recovery_overhead(self, strategy: str, world: int = 1, *,
+                          mtbf_hours: float,
+                          checkpoint_every_steps: int) -> dict:
+        """Expected per-epoch fault-tolerance cost under a failure rate.
+
+        The what-if analysis behind Figure-7/9-style MTBF sweeps: given a
+        machine mean-time-between-failures and a checkpoint cadence, an
+        epoch pays (a) the checkpoint writes themselves, and (b) per
+        expected failure, one :meth:`recovery_seconds` cycle plus the
+        replay of on average half a checkpoint interval of lost steps.
+        Returns the pieces and the overhead as a fraction of the fault-
+        free epoch.
+        """
+        if mtbf_hours <= 0:
+            raise ValueError(f"mtbf_hours must be positive, got {mtbf_hours}")
+        if checkpoint_every_steps < 1:
+            raise ValueError(f"checkpoint_every_steps must be >= 1, "
+                             f"got {checkpoint_every_steps}")
+        base = self.epoch_breakdown(strategy, world,
+                                    include_validation=False).total
+        steps = self.steps_per_epoch(world)
+        step_seconds = base / steps
+        ckpt = (steps / checkpoint_every_steps) * self.checkpoint_seconds()
+        failures = (base + ckpt) / (mtbf_hours * 3600.0)
+        lost_work = 0.5 * checkpoint_every_steps * step_seconds
+        per_failure = self.recovery_seconds(world) + lost_work
+        recovery = ckpt + failures * per_failure
+        return {
+            "checkpoint_seconds_per_epoch": ckpt,
+            "expected_failures_per_epoch": failures,
+            "seconds_per_failure": per_failure,
+            "lost_work_seconds_per_failure": lost_work,
+            "recovery_seconds_per_epoch": recovery,
+            "overhead_fraction": recovery / base,
+        }
+
     def epoch_breakdown(self, strategy: str, world: int = 1,
                         *, include_validation: bool = True,
-                        prefetch: bool = False) -> EpochBreakdown:
+                        prefetch: bool = False,
+                        mtbf_hours: float | None = None,
+                        checkpoint_every_steps: int | None = None
+                        ) -> EpochBreakdown:
         """Per-epoch simulated time for each strategy at ``world`` GPUs.
 
         ``prefetch`` models the paper's future-work idea (§7): overlap the
         next batch's data fetch with the current batch's compute, so only
         the fetch time *exceeding* compute remains exposed.
+
+        Passing ``mtbf_hours`` (with a ``checkpoint_every_steps``
+        cadence, default one checkpoint per epoch) adds the expected
+        fault-tolerance share to the breakdown's ``recovery`` component;
+        without it the breakdown is fault-free, bitwise unchanged from
+        before recovery pricing existed.
         """
         if strategy not in STRATEGIES:
             raise ValueError(f"unknown strategy {strategy!r}")
@@ -383,6 +455,14 @@ class TrainingPerfModel:
                 # the excess per-step fetch time stays on the critical path.
                 overlappable = br.compute + br.h2d
                 br.data_comm = max(0.0, br.data_comm - overlappable)
+        if mtbf_hours is not None:
+            cadence = (checkpoint_every_steps
+                       if checkpoint_every_steps is not None
+                       else self.steps_per_epoch(world))
+            br.recovery = self.recovery_overhead(
+                strategy, world, mtbf_hours=mtbf_hours,
+                checkpoint_every_steps=cadence,
+            )["recovery_seconds_per_epoch"]
         return br
 
     def run(self, strategy: str, world: int = 1, epochs: int = 30,

@@ -217,3 +217,85 @@ class TestSelfDescribingCheckpoint:
         with pytest.raises(ValueError, match="unfitted"):
             save_checkpoint(str(tmp_path / "x.npz"), setup(),
                             scaler=StandardScaler())
+
+
+class TestResumeEdgeCases:
+    """Resume across execution environments: a transport swap must
+    reproduce bitwise; a world-size (or run-shape) swap must fail loudly
+    — both behaviours are pinned here."""
+
+    WORLD = 2
+    EPOCHS = 2
+
+    @pytest.fixture(scope="class")
+    def ddp_setup(self):
+        from repro.batching import IndexBatchLoader
+        from repro.datasets import load_dataset
+        from repro.preprocessing import IndexDataset
+
+        ds = load_dataset("pems-bay", nodes=10, entries=260, seed=0)
+        idx = IndexDataset.from_dataset(ds, horizon=4)
+        supports = dual_random_walk_supports(ds.graph.weights)
+
+        def make(transport="sim", world=self.WORLD, ckpt=None, every=2,
+                 **kw):
+            from repro.runtime import ProcessGroup
+            from repro.training import DDPTrainer
+
+            def build_model():
+                return PGTDCRNN(supports, 4, 2, hidden_dim=8, seed=0)
+
+            model = build_model()
+            opt = Adam(model.parameters(), lr=0.01)
+            pg = (ProcessGroup.threads(world) if transport == "thread"
+                  else ProcessGroup.sim(world))
+            return DDPTrainer(
+                model, opt, pg, IndexBatchLoader(idx, "train", 8),
+                IndexBatchLoader(idx, "val", 8), seed=0,
+                model_factory=build_model if transport == "thread" else None,
+                checkpoint_every=every if ckpt else None,
+                checkpoint_path=ckpt, **kw)
+
+        return make
+
+    def curve(self, history):
+        return [(h.train_loss, h.val_mae) for h in history]
+
+    @pytest.mark.parametrize("first,second", [("sim", "thread"),
+                                              ("thread", "sim")])
+    def test_transport_swap_resumes_bitwise(self, ddp_setup, tmp_path,
+                                            first, second):
+        """A run checkpointed under one transport resumes under the
+        other with a bitwise-identical curve (collectives reduce in rank
+        order on every fabric)."""
+        reference = self.curve(ddp_setup(transport=second).fit(self.EPOCHS))
+        ckpt = str(tmp_path / f"{first}-to-{second}.npz")
+        partial = ddp_setup(transport=first, ckpt=ckpt)
+        partial.fit(1)                      # leaves a mid-run checkpoint
+        resumed = ddp_setup(transport=second, ckpt=ckpt)
+        resumed.resume(ckpt)
+        assert self.curve(resumed.fit(self.EPOCHS)) == reference
+
+    def test_world_size_change_fails_loudly(self, ddp_setup, tmp_path):
+        ckpt = str(tmp_path / "w2.npz")
+        ddp_setup(ckpt=ckpt).fit(1)
+        bigger = ddp_setup(world=4)
+        with pytest.raises(ValueError,
+                           match="world of 2 ranks.*world_size=2"):
+            bigger.resume(ckpt)
+        # The failed resume must not have half-restored the trainer.
+        assert bigger.global_step == 0 and bigger.history == []
+
+    def test_run_shape_changes_fail_loudly(self, ddp_setup, tmp_path):
+        from repro.training import DDPStrategy
+
+        ckpt = str(tmp_path / "shape.npz")
+        ddp_setup(ckpt=ckpt).fit(1)
+        with pytest.raises(ValueError, match="strategy"):
+            ddp_setup(strategy=DDPStrategy.BASELINE_DDP).resume(ckpt)
+        with pytest.raises(ValueError, match="shuffle"):
+            ddp_setup(shuffle="local").resume(ckpt)
+        with pytest.raises(ValueError, match="seed"):
+            tr = ddp_setup()
+            tr.seed = 1
+            tr.resume(ckpt)

@@ -24,6 +24,8 @@ EXAMPLE_ARGS = {
     "dynamic_graphs": dict(nodes=10, entries=300, epochs=1, horizon=4),
     "scaling_study": dict(epochs=5),
     "online_serving": dict(scale="tiny", epochs=1, requests=40, shards=2),
+    "fault_tolerance": dict(scale="tiny", epochs=1, world=2, crash_step=2,
+                            requests=30),
 }
 
 TIMEOUT_SECONDS = 120

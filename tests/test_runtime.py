@@ -14,6 +14,7 @@ facade — and the two refactor guarantees this layer was built under:
 """
 
 import threading
+import time
 
 import numpy as np
 import pytest
@@ -179,6 +180,62 @@ class TestThreadTransport:
         with pytest.raises(RuntimeError, match="rank 1 boom"):
             t.run_ranks(fn)
         t.shutdown()
+
+    def test_rank_failure_joins_and_reaps_worker_threads(self):
+        """Regression: a raising rank callable used to leave the worker
+        pool's threads alive behind the propagated exception — nobody
+        owns a transport whose trainer just died, so they leaked until
+        interpreter exit.  The failure path must join *every* rank (the
+        slow healthy ranks finish their step) and tear the pool down."""
+        t = ThreadTransport(4)
+        t.run_ranks(lambda r: r)                 # spin the pool up
+        pool_threads = list(t._pool._threads)
+        assert any(th.is_alive() for th in pool_threads)
+        finished = []
+
+        def fn(rank):
+            if rank == 1:
+                raise ValueError("rank 1 died")
+            time.sleep(0.02)                     # healthy ranks mid-step
+            finished.append(rank)
+            return rank
+
+        with pytest.raises(ValueError, match="rank 1 died"):
+            t.run_ranks(fn)
+        # Barrier semantics: every healthy rank completed its step
+        # before the exception surfaced...
+        assert sorted(finished) == [0, 2, 3]
+        # ...and no worker thread outlives the failure.
+        assert t._pool is None
+        for th in pool_threads:
+            th.join(timeout=5)
+            assert not th.is_alive()
+
+    def test_failed_transport_is_reusable(self):
+        """After an aborted step the pool rebuilds lazily — the recovery
+        path reuses the same transport object."""
+        t = ThreadTransport(3)
+
+        def fail(rank):
+            raise RuntimeError("boom")
+        with pytest.raises(RuntimeError):
+            t.run_ranks(fail)
+        assert t.run_ranks(lambda r: r * 2) == [0, 2, 4]
+        t.shutdown()
+
+    def test_lowest_rank_exception_wins(self):
+        """Deterministic error surfacing: when several ranks fail in the
+        same step, the lowest rank's exception propagates regardless of
+        thread timing."""
+        t = ThreadTransport(4)
+
+        def fn(rank):
+            if rank in (1, 3):
+                raise RuntimeError(f"rank {rank} failed")
+            return rank
+        for _ in range(5):
+            with pytest.raises(RuntimeError, match="rank 1 failed"):
+                t.run_ranks(fn)
 
     def test_records_bytes_not_simulated_time(self):
         g = ProcessGroup.threads(2)
