@@ -7,7 +7,7 @@ PY := PYTHONPATH=src python
 # the measured floor; raise it when coverage grows, never lower it.
 COV_FLOOR := 80
 
-.PHONY: test test-cov chaos bench bench-quick bench-diff serve-bench serve-bench-quick serve-bench-diff dist-bench dist-bench-quick dist-bench-diff fault-bench fault-bench-quick fault-bench-diff
+.PHONY: test test-cov chaos bench bench-quick bench-diff serve-bench serve-bench-quick serve-bench-diff dist-bench dist-bench-quick dist-bench-diff fault-bench fault-bench-quick fault-bench-diff gateway-bench gateway-bench-quick gateway-bench-diff
 
 test:                       ## tier-1: full unit + benchmark-shape suite
 	$(PY) -m pytest -x -q
@@ -57,3 +57,13 @@ fault-bench-quick:          ## CI smoke: tiny fault suite to /tmp
 # usage: make fault-bench-diff OLD=BENCH_4.json NEW=BENCH_5.json
 fault-bench-diff:
 	$(PY) -m benchmarks.fault_bench --diff $(OLD) $(NEW)
+
+gateway-bench:              ## merge a gateway section into the newest BENCH_<n>.json
+	$(PY) -m benchmarks.gateway_bench --fail-on-regression $(if $(OUT),--out $(OUT))
+
+gateway-bench-quick:        ## CI smoke: tiny gateway suite to /tmp, gated
+	$(PY) -m benchmarks.gateway_bench --quick --fail-on-regression --out /tmp/bench-gateway.json
+
+# usage: make gateway-bench-diff OLD=BENCH_5.json NEW=BENCH_6.json
+gateway-bench-diff:
+	$(PY) -m benchmarks.gateway_bench --diff $(OLD) $(NEW)

@@ -1,0 +1,405 @@
+"""Gateway benchmark: multi-tenant goodput, shedding, caching, swaps.
+
+Runs a fixed-seed scenario suite against a freshly trained tiny model
+behind the multi-tenant gateway and merges the results as a
+``"gateway"`` section into a ``BENCH_<n>.json`` snapshot (see
+``benchmarks/README.md`` for the ``repro-gateway/v1`` schema)::
+
+    # merge into the newest existing snapshot (or create BENCH_1.json)
+    python -m benchmarks.gateway_bench
+
+    # explicit target / CI smoke mode
+    python -m benchmarks.gateway_bench --out BENCH_6.json
+    python -m benchmarks.gateway_bench --quick --out /tmp/gateway.json
+
+    # compare two snapshots' gateway sections / gate the guarantees
+    python -m benchmarks.gateway_bench --diff BENCH_5.json BENCH_6.json
+    python -m benchmarks.gateway_bench --fail-on-regression
+
+Unlike the serving suite (which measures honest wall-clock forwards),
+every scenario here runs a *synthetic* service-time model on the
+simulated clock, so the entire section — every latency, every shed
+decision, every cache hit — is bit-reproducible across machines.  That
+is what lets ``--fail-on-regression`` gate exact guarantees rather than
+timing thresholds:
+
+- ``baseline_1k`` — two tenants at today's offered load (1000 qps total,
+  the ``open_loop_1k`` reference from the serving suite): **zero** shed,
+  zero deadline misses.
+- ``overload_10k`` — one tenant at 10x the baseline: admission control
+  must fire (shed > 0) but stay bounded, and goodput must hold at the
+  deployment's capacity instead of collapsing.
+- ``cache_roundtrip`` — result-cache hits must be bitwise equal to the
+  original computation *and* to an uncached recomputation.
+- ``bluegreen_swap`` — a mid-traffic checkpoint swap must drain every
+  in-flight request (zero drops) and answer everything submitted.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import time
+from pathlib import Path
+
+import numpy as np
+
+GATEWAY_SCHEMA = "repro-gateway/v1"
+
+#: Fixed request-stream seed — part of the benchmark definition.
+SEED = 0
+
+#: Synthetic per-batch service time (seconds for a batch of n): a fixed
+#: model with batch-8 capacity ~4000 qps, between the 1000 qps baseline
+#: and the 10x overload point.  Part of the benchmark definition.
+SERVICE_TIME = (4e-4, 2e-4)          # base, per-request
+
+#: Offered loads (qps).  ``overload`` is 10x the serving suite's
+#: ``open_loop_1k`` reference scenario.
+BASELINE_QPS = 1000.0
+OVERLOAD_QPS = 10.0 * BASELINE_QPS
+
+#: Overload gates: admission must shed, but boundedly, while goodput
+#: holds near capacity.
+MAX_SHED_RATE = 0.8
+MIN_OVERLOAD_GOODPUT = 2000.0
+
+
+def _service_time(n: int) -> float:
+    base, per = SERVICE_TIME
+    return base + per * n
+
+
+def _make_gateway(result, *, cache_ttl=None, default_deadline=None):
+    from repro.api import build_gateway
+    from repro.serving import ManualClock
+
+    return build_gateway(
+        {"bay": result}, tenants=["ops", "research"], clock=ManualClock(),
+        max_batch=8, max_wait=0.002, service_time=_service_time,
+        cache_ttl=cache_ttl, default_deadline=default_deadline)
+
+
+def _train(quick: bool):
+    from repro.api import RunSpec, run
+
+    spec = RunSpec(dataset="pems-bay", model="pgt-dcrnn", batching="index",
+                   scale="tiny", seed=SEED, epochs=1 if quick else 2)
+    result = run(spec)
+    test = result.artifacts.loaders.test
+    pool = test.batch_at(np.arange(test.num_snapshots
+                                   if test.num_snapshots < 64 else 64))[0]
+    return spec, result, pool.copy()
+
+
+# ---------------------------------------------------------------------------
+# Load scenarios
+# ---------------------------------------------------------------------------
+def bench_baseline(result, pool, *, quick: bool) -> dict:
+    from repro.serving import GatewayLoadGenerator, TenantStream
+
+    n = 150 if quick else 600
+    gw = _make_gateway(result)
+    streams = [
+        TenantStream(api_key="key-ops", deployment="bay",
+                     rate_qps=0.7 * BASELINE_QPS, requests=(7 * n) // 10,
+                     deadline=0.05),
+        TenantStream(api_key="key-research", deployment="bay",
+                     rate_qps=0.3 * BASELINE_QPS, requests=(3 * n) // 10,
+                     deadline=0.05),
+    ]
+    report = GatewayLoadGenerator(gw, pool, seed=SEED).open_loop(
+        streams, scenario="baseline_1k")
+    d = report.to_dict()
+    d["shed_by_reason"] = gw.admission.shed_by_reason()
+    return d
+
+
+def bench_overload(result, pool, *, quick: bool) -> dict:
+    from repro.serving import GatewayLoadGenerator, TenantStream
+
+    n = 400 if quick else 1500
+    gw = _make_gateway(result)
+    streams = [TenantStream(api_key="key-ops", deployment="bay",
+                            rate_qps=OVERLOAD_QPS, requests=n,
+                            deadline=0.025)]
+    report = GatewayLoadGenerator(gw, pool, seed=SEED).open_loop(
+        streams, scenario="overload_10k")
+    d = report.to_dict()
+    d["shed_by_reason"] = gw.admission.shed_by_reason()
+    return d
+
+
+# ---------------------------------------------------------------------------
+# Guarantee scenarios
+# ---------------------------------------------------------------------------
+def bench_cache(result, pool) -> dict:
+    """Cache hits must be bitwise equal to recomputation."""
+    window = pool[0]
+    cold = _make_gateway(result, cache_ttl=None)
+    uncached = cold.request("key-ops", "bay", window)
+
+    warm = _make_gateway(result, cache_ttl=60.0)
+    first = warm.request("key-ops", "bay", window)
+    second = warm.request("key-ops", "bay", window)
+    # Cross-tenant hit: the cache keys on (deployment, version, window),
+    # so research's identical window is served from ops' computation.
+    third = warm.request("key-research", "bay", window)
+
+    bitwise = (second.cached and third.cached
+               and np.array_equal(second.forecast.predictions,
+                                  first.forecast.predictions)
+               and np.array_equal(third.forecast.predictions,
+                                  first.forecast.predictions)
+               and np.array_equal(first.forecast.predictions,
+                                  uncached.forecast.predictions))
+    stats = warm.cache.stats
+    return {
+        "bitwise_equal": bool(bitwise),
+        "hits": int(stats.hits),
+        "misses": int(stats.misses),
+        "hit_rate": float(stats.hit_rate),
+        "resident_nbytes": int(warm.cache.resident_nbytes),
+    }
+
+
+def bench_swap(result, pool) -> dict:
+    """Blue-green swap mid-traffic: zero dropped in-flight requests."""
+    gw = _make_gateway(result)
+    session = gw.deployments.get("bay").session
+    admitted = []
+    for i in range(6):                      # partial batch stays queued
+        admitted.append(gw.submit("key-ops", "bay", pool[i % len(pool)]))
+    in_flight = gw.deployments.get("bay").in_flight
+    record = gw.swap("bay", lambda: session, version="v2")
+    after = [gw.request("key-ops", "bay", pool[i % len(pool)])
+             for i in range(4)]
+    completed = gw.flush() + gw.poll()
+    answered = (gw.stats.completed == gw.stats.admitted)
+    return {
+        "in_flight_at_swap": int(in_flight),
+        "drained": int(record.drained),
+        "dropped": int(record.dropped),
+        "swap_seconds": float(record.seconds),
+        "old_version": record.old_version,
+        "new_version": record.new_version,
+        "post_swap_version": after[0].version,
+        "all_answered": bool(answered and len(admitted) == 6
+                             and all(r.ok for r in after)),
+    }
+
+
+def collect_gateway(*, quick: bool = False, label: str = "") -> dict:
+    """Measure the gateway scenario suite; returns the section dict."""
+    spec, result, pool = _train(quick)
+    scenarios = {
+        "baseline_1k": bench_baseline(result, pool, quick=quick),
+        "overload_10k": bench_overload(result, pool, quick=quick),
+        "cache_roundtrip": bench_cache(result, pool),
+        "bluegreen_swap": bench_swap(result, pool),
+    }
+    return {
+        "schema": GATEWAY_SCHEMA,
+        "label": label,
+        "created": time.strftime("%Y-%m-%dT%H:%M:%S"),
+        "config": {"spec": spec.to_dict(), "seed": SEED,
+                   "max_batch": 8, "max_wait": 0.002,
+                   "service_time": list(SERVICE_TIME),
+                   "baseline_qps": BASELINE_QPS,
+                   "overload_qps": OVERLOAD_QPS,
+                   "max_shed_rate": MAX_SHED_RATE,
+                   "min_overload_goodput": MIN_OVERLOAD_GOODPUT,
+                   "pool_windows": int(len(pool)), "quick": bool(quick)},
+        "scenarios": scenarios,
+    }
+
+
+# ---------------------------------------------------------------------------
+# Snapshot plumbing (shared conventions with serve/dist/fault benches)
+# ---------------------------------------------------------------------------
+def validate_gateway(section: dict) -> None:
+    """Raise ``ValueError`` unless ``section`` is a valid gateway section."""
+    if not isinstance(section, dict) or section.get("schema") != GATEWAY_SCHEMA:
+        raise ValueError(f"not a {GATEWAY_SCHEMA} gateway section")
+    for key in ("created", "config", "scenarios"):
+        if key not in section:
+            raise ValueError(f"gateway section missing {key!r}")
+    scen = section["scenarios"]
+    for name in ("baseline_1k", "overload_10k"):
+        for field in ("requests", "offered_qps", "goodput_qps", "shed_rate",
+                      "latency_p99", "deadline_misses", "per_tenant"):
+            if field not in scen.get(name, {}):
+                raise ValueError(f"scenario {name!r} missing {field!r}")
+    for field in ("bitwise_equal", "hits", "hit_rate"):
+        if field not in scen.get("cache_roundtrip", {}):
+            raise ValueError(f"cache_roundtrip missing {field!r}")
+    for field in ("dropped", "drained", "all_answered"):
+        if field not in scen.get("bluegreen_swap", {}):
+            raise ValueError(f"bluegreen_swap missing {field!r}")
+
+
+def merge_into_snapshot(section: dict, path: str | Path) -> Path:
+    """Write ``section`` as the ``gateway`` key of the snapshot, creating
+    a minimal (micro/training-empty) snapshot if none exists."""
+    from repro.profiling.bench import load_or_init_snapshot
+
+    validate_gateway(section)
+    path = Path(path)
+    data = load_or_init_snapshot(path, label=section.get("label", ""),
+                                 created=section["created"])
+    data["gateway"] = section
+    path.write_text(json.dumps(data, indent=2, sort_keys=False) + "\n")
+    return path
+
+
+def default_target(root: str | Path = ".") -> Path:
+    from benchmarks.serve_bench import default_target as _default
+    return _default(root)
+
+
+# ---------------------------------------------------------------------------
+# Diffing / gating
+# ---------------------------------------------------------------------------
+def check_regression(section: dict) -> list[str]:
+    """Failure messages for the section's own gates (empty = green).
+
+    The gates are the subsystem's guarantees, deterministic under the
+    synthetic service-time model, not machine-dependent thresholds."""
+    validate_gateway(section)
+    cfg = section["config"]
+    failures = []
+    base = section["scenarios"]["baseline_1k"]
+    if base["shed_rate"] > 0:
+        failures.append(f"baseline load shed {base['shed_rate']:.1%}; "
+                        f"admission must not fire below capacity")
+    if base["deadline_misses"] > 0:
+        failures.append(f"baseline load missed {base['deadline_misses']} "
+                        f"deadlines")
+    over = section["scenarios"]["overload_10k"]
+    if over["shed_rate"] <= 0:
+        failures.append("overload never shed; admission control is inert")
+    max_shed = cfg.get("max_shed_rate", MAX_SHED_RATE)
+    if over["shed_rate"] > max_shed:
+        failures.append(f"overload shed {over['shed_rate']:.1%} "
+                        f"(bound {max_shed:.0%})")
+    floor = cfg.get("min_overload_goodput", MIN_OVERLOAD_GOODPUT)
+    if over["goodput_qps"] < floor:
+        failures.append(f"overload goodput collapsed to "
+                        f"{over['goodput_qps']:.0f} qps (floor {floor:.0f})")
+    if over["deadline_misses"] > 0:
+        failures.append(f"overload missed {over['deadline_misses']} "
+                        f"deadlines on admitted requests; the projection "
+                        f"under-estimates")
+    cache = section["scenarios"]["cache_roundtrip"]
+    if not cache["bitwise_equal"]:
+        failures.append("cache hit differed from recomputation (must be "
+                        "bitwise equal)")
+    if cache["hits"] < 1:
+        failures.append("cache scenario never hit")
+    swap = section["scenarios"]["bluegreen_swap"]
+    if swap["dropped"] != 0:
+        failures.append(f"blue-green swap dropped {swap['dropped']} "
+                        f"in-flight requests")
+    if not swap["all_answered"]:
+        failures.append("requests around the swap went unanswered")
+    return failures
+
+
+def diff_gateway(old: dict, new: dict) -> dict:
+    """Headline-metric comparison between two snapshots.
+
+    The *new* snapshot must carry a gateway section; the old one may
+    predate the subsystem (e.g. ``BENCH_5.json``), in which case its
+    values are reported as ``None`` instead of failing the diff.
+    """
+    if "gateway" not in new:
+        raise ValueError("new snapshot has no gateway section")
+    validate_gateway(new["gateway"])
+    o = None
+    if "gateway" in old:
+        validate_gateway(old["gateway"])
+        o = old["gateway"]["scenarios"]
+    n = new["gateway"]["scenarios"]
+
+    def pick(scenario: str, field: str) -> dict:
+        return {"old": o[scenario][field] if o is not None else None,
+                "new": n[scenario][field]}
+
+    return {
+        "baseline_goodput_qps": pick("baseline_1k", "goodput_qps"),
+        "overload_goodput_qps": pick("overload_10k", "goodput_qps"),
+        "overload_shed_rate": pick("overload_10k", "shed_rate"),
+        "cache_hit_rate": pick("cache_roundtrip", "hit_rate"),
+    }
+
+
+def _format_section(section: dict) -> str:
+    scen = section["scenarios"]
+    base, over = scen["baseline_1k"], scen["overload_10k"]
+    cache, swap = scen["cache_roundtrip"], scen["bluegreen_swap"]
+    return "\n".join([
+        f"gateway suite ({'quick' if section['config']['quick'] else 'full'})",
+        f"  baseline_1k: {base['requests']} reqs offered "
+        f"{base['offered_qps']:.0f} qps -> goodput "
+        f"{base['goodput_qps']:.0f} qps, shed {base['shed_rate']:.1%}, "
+        f"p99 {base['latency_p99'] * 1e3:.2f} ms, "
+        f"misses {base['deadline_misses']}",
+        f"  overload_10k: {over['requests']} reqs offered "
+        f"{over['offered_qps']:.0f} qps -> goodput "
+        f"{over['goodput_qps']:.0f} qps, shed {over['shed_rate']:.1%}, "
+        f"p99 {over['latency_p99'] * 1e3:.2f} ms, "
+        f"misses {over['deadline_misses']}",
+        f"  cache_roundtrip: {cache['hits']} hit(s), hit rate "
+        f"{cache['hit_rate']:.0%}, bitwise "
+        f"{'OK' if cache['bitwise_equal'] else 'BROKEN'}",
+        f"  bluegreen_swap: {swap['in_flight_at_swap']} in flight -> "
+        f"{swap['drained']} drained, {swap['dropped']} dropped, "
+        f"{swap['old_version']} -> {swap['new_version']}, answered "
+        f"{'OK' if swap['all_answered'] else 'BROKEN'}",
+    ])
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="gateway_bench", description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter)
+    parser.add_argument("--quick", action="store_true",
+                        help="fast smoke mode: fewer requests, 1 epoch")
+    parser.add_argument("--out", type=Path, default=None,
+                        help="snapshot to merge the gateway section into "
+                             "(default: newest BENCH_<n>.json here)")
+    parser.add_argument("--label", default="",
+                        help="free-form note recorded in the section")
+    parser.add_argument("--diff", nargs=2, metavar=("OLD", "NEW"),
+                        help="compare two snapshots' gateway sections")
+    parser.add_argument("--fail-on-regression", action="store_true",
+                        help="exit 1 unless shedding, caching and swap "
+                             "guarantees hold")
+    args = parser.parse_args(argv)
+
+    if args.diff:
+        old = json.loads(Path(args.diff[0]).read_text())
+        new = json.loads(Path(args.diff[1]).read_text())
+        for name, d in diff_gateway(old, new).items():
+            was = "(absent)" if d["old"] is None else f"{d['old']:.2f}"
+            print(f"  {name}: {was} -> {d['new']:.2f}")
+        return 0
+
+    section = collect_gateway(quick=args.quick, label=args.label)
+    print(_format_section(section))
+    target = args.out if args.out is not None else default_target()
+    merge_into_snapshot(section, target)
+    print(f"merged gateway section into {target}")
+    if args.fail_on_regression:
+        failures = check_regression(section)
+        for f in failures:
+            print(f"REGRESSION: {f}")
+        if failures:
+            return 1
+        print("regression gate green (no shed below capacity, bounded "
+              "overload shed, bitwise cache, zero-drop swap)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

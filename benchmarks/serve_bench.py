@@ -30,7 +30,12 @@ from pathlib import Path
 
 import numpy as np
 
-SERVING_SCHEMA = "repro-serve/v1"
+SERVING_SCHEMA = "repro-serve/v2"
+
+#: Accepted on read: v2 added the gateway-era LoadReport fields
+#: (``goodput_qps`` / ``shed_rate`` / ``per_tenant``, ``None`` for plain
+#: service runs) to every scenario dict; committed v1 sections stay valid.
+ACCEPTED_SCHEMAS = ("repro-serve/v1", SERVING_SCHEMA)
 
 #: Fixed request-stream seed — part of the benchmark definition.
 SEED = 0
@@ -106,7 +111,8 @@ def collect_serving(*, quick: bool = False, label: str = "") -> dict:
 # ---------------------------------------------------------------------------
 def validate_serving(section: dict) -> None:
     """Raise ``ValueError`` unless ``section`` is a valid serving section."""
-    if not isinstance(section, dict) or section.get("schema") != SERVING_SCHEMA:
+    if (not isinstance(section, dict)
+            or section.get("schema") not in ACCEPTED_SCHEMAS):
         raise ValueError(f"not a {SERVING_SCHEMA} serving section")
     for key in ("created", "config", "scenarios"):
         if key not in section:

@@ -27,7 +27,9 @@ Loaders handed to the trainers satisfy the :class:`BatchSource` protocol
 Trained artifacts go online through :func:`serve` — a checkpoint path,
 ``RunResult`` or spec becomes a micro-batching
 :class:`~repro.serving.service.ForecastService`, with server topologies
-(``local`` / ``sharded``) resolved through the :data:`SERVERS` registry.
+(``local`` / ``sharded`` / ``gateway``) resolved through the
+:data:`SERVERS` registry.  :func:`build_gateway` assembles the
+multi-tenant front door over several named deployments at once.
 """
 
 from repro.api.registry import (
@@ -55,7 +57,14 @@ from repro.api import builders as _builders  # populate default registries
 from repro.api.builders import LoaderBundle, ModelContext, default_in_features
 from repro.api.spec import RunSpec, SHUFFLES, STRATEGIES
 from repro.api.runner import RunArtifacts, RunResult, run
-from repro.api.serving import SERVERS, list_servers, restore_checkpoint, serve
+from repro.api.serving import (
+    SERVERS,
+    build_gateway,
+    list_servers,
+    restore_checkpoint,
+    serve,
+    session_source,
+)
 from repro.batching.protocols import BatchSource, ensure_batch_source
 
 __all__ = [
@@ -87,6 +96,8 @@ __all__ = [
     "SERVERS",
     "list_servers",
     "serve",
+    "build_gateway",
+    "session_source",
     "restore_checkpoint",
     "default_in_features",
     "BatchSource",

@@ -13,8 +13,13 @@ trained artifact — a **self-describing checkpoint** path, a finished
     svc = serve("ckpt.npz", server="sharded", num_shards=4)
 
 Server topologies live in the :data:`SERVERS` registry (``local`` /
-``sharded`` by default), so alternative request paths register exactly
-like models and datasets do.
+``sharded`` / ``gateway`` by default), so alternative request paths
+register exactly like models and datasets do.  The multi-deployment
+front door is :func:`build_gateway`::
+
+    gw = build_gateway({"bay": "ckpt_a.npz", "la": "ckpt_b.npz"},
+                       tenants=["ops", "research"], cache_ttl=30.0)
+    gw.request("key-ops", "bay", window)
 """
 
 from __future__ import annotations
@@ -26,6 +31,7 @@ from repro.api.registry import MODELS, Registry
 from repro.api.scales import get_scale
 from repro.api.spec import RunSpec
 from repro.serving.cache import FeatureStore
+from repro.serving.gateway import Gateway
 from repro.serving.service import ForecastService
 from repro.serving.session import ModelSession
 from repro.serving.sharding import ShardedSession
@@ -119,8 +125,12 @@ def restore_checkpoint(path: str) -> tuple[Any, Any, RunSpec, Any]:
 def serve(source: Any, *, server: str = "local", max_batch: int = 32,
           max_wait: float = 0.005, clock: Callable[[], float] | None = None,
           service_time: Callable[[int], float] | None = None,
-          **server_kwargs) -> ForecastService:
+          **server_kwargs) -> ForecastService | Gateway:
     """Build a :class:`ForecastService` from a trained artifact.
+
+    With ``server="gateway"`` the result is a single-deployment
+    :class:`~repro.serving.gateway.Gateway` instead (which wires its own
+    queues and clock, so no ``ForecastService`` wrapper applies).
 
     Parameters
     ----------
@@ -161,7 +171,163 @@ def serve(source: Any, *, server: str = "local", max_batch: int = 32,
             f"serve() takes a checkpoint path, RunSpec or RunResult, got "
             f"{type(source).__name__}")
 
-    session = SERVERS.get(server)(model, scaler, ds, spec,
-                                  max_batch=max_batch, **server_kwargs)
-    return ForecastService(session, max_wait=max_wait, clock=clock,
+    if server == "gateway":
+        # The gateway owns its own queue/clock wiring, so the knobs that
+        # would normally configure the ForecastService wrapper flow into
+        # the builder instead.
+        server_kwargs.setdefault("max_wait", max_wait)
+        server_kwargs.setdefault("clock", clock)
+        server_kwargs.setdefault("service_time", service_time)
+    built = SERVERS.get(server)(model, scaler, ds, spec,
+                                max_batch=max_batch, **server_kwargs)
+    if isinstance(built, Gateway):
+        return built
+    return ForecastService(built, max_wait=max_wait, clock=clock,
                            service_time=service_time)
+
+
+@SERVERS.register("gateway")
+def _build_gateway_server(model, scaler, dataset, spec, *,
+                          max_batch: int = 32, max_wait: float = 0.005,
+                          clock=None, service_time=None,
+                          deployment: str = "default", version: str = "v1",
+                          tenants=None, cache_ttl: float | None = None,
+                          cache_entries: int = 1024,
+                          max_queue_depth: int = 256,
+                          ewma_alpha: float = 0.2,
+                          default_deadline: float | None = None,
+                          store_capacity: int | None = None,
+                          **session_kwargs) -> Gateway:
+    """Single-deployment gateway: ``serve(src, server="gateway")``.
+
+    Wraps the local session in a :class:`Gateway` with one deployment
+    (named ``deployment``, pinned at ``version``) and a ``default``
+    tenant (API key ``key-default``) unless ``tenants`` names others.
+    Multi-deployment gateways are built with :func:`build_gateway`.
+    """
+    session = _build_local_session(model, scaler, dataset, spec,
+                                   max_batch=max_batch, **session_kwargs)
+    gw = Gateway(clock=clock, max_batch=max_batch, max_wait=max_wait,
+                 service_time=service_time, cache_ttl=cache_ttl,
+                 cache_entries=cache_entries,
+                 max_queue_depth=max_queue_depth, ewma_alpha=ewma_alpha,
+                 default_deadline=default_deadline,
+                 store_capacity=store_capacity)
+    gw.add_deployment(deployment, session, version=version)
+    for tenant in _normalise_tenants(tenants):
+        gw.add_tenant(**tenant)
+    return gw
+
+
+def _normalise_tenants(tenants) -> list[dict]:
+    """``None`` / names / dicts -> ``add_tenant`` keyword dicts."""
+    if tenants is None:
+        return [{"tenant_id": "default"}]
+    out = []
+    for tenant in tenants:
+        if isinstance(tenant, str):
+            out.append({"tenant_id": tenant})
+        elif isinstance(tenant, dict):
+            if "tenant_id" not in tenant:
+                raise ValueError(f"tenant dict needs a 'tenant_id': {tenant}")
+            out.append(dict(tenant))
+        else:
+            raise TypeError(f"tenant must be a name or dict, got "
+                            f"{type(tenant).__name__}")
+    return out
+
+
+def session_source(source: Any, *, server: str = "local",
+                   max_batch: int = 32,
+                   **server_kwargs) -> Callable[[], Any]:
+    """Zero-arg session factory over any ``serve``-able artifact.
+
+    The returned callable resolves ``source`` (checkpoint path, RunSpec,
+    RunResult, or an already-built session) through the :data:`SERVERS`
+    builder on first call — which is what makes ``state="cold"``
+    deployments and blue-green :meth:`Gateway.swap` lazy: nothing is
+    trained or restored until the deployment actually activates.
+    """
+    if server == "gateway":
+        raise ValueError("session_source builds backend sessions; "
+                         "'gateway' is not a backend")
+
+    def build():
+        from repro.api.runner import RunResult, run
+
+        src = source
+        if hasattr(src, "predict"):       # already a live session
+            return src
+        if isinstance(src, RunSpec):
+            src = run(src)
+        if isinstance(src, RunResult):
+            art = src.artifacts
+            if art is None:
+                raise ValueError("RunResult carries no artifacts; point "
+                                 "the deployment at its checkpoint instead")
+            model, scaler, spec, ds = (art.model, art.loaders.scaler,
+                                       src.spec, art.dataset)
+        elif isinstance(src, str):
+            model, scaler, spec, ds = restore_checkpoint(src)
+        else:
+            raise TypeError(f"cannot build a session from "
+                            f"{type(src).__name__}")
+        return SERVERS.get(server)(model, scaler, ds, spec,
+                                   max_batch=max_batch, **server_kwargs)
+
+    return build
+
+
+def build_gateway(sources: dict[str, Any], *, tenants=None,
+                  server: str = "local", clock=None,
+                  max_batch: int = 8, max_wait: float = 0.005,
+                  service_time: Callable[[int], float] | None = None,
+                  cache_ttl: float | None = None, cache_entries: int = 1024,
+                  max_queue_depth: int = 256, ewma_alpha: float = 0.2,
+                  default_deadline: float | None = None,
+                  store_capacity: int | None = None,
+                  versions: dict[str, str] | None = None,
+                  states: dict[str, str] | None = None,
+                  **server_kwargs) -> Gateway:
+    """Build a multi-tenant :class:`Gateway` over named deployments.
+
+    Parameters
+    ----------
+    sources:
+        ``{deployment_name: source}`` where each source is anything
+        ``serve`` accepts (checkpoint path / RunSpec / RunResult) or an
+        already-built session.  Each resolves lazily through
+        :func:`session_source`, so ``states={"name": "cold"}`` replicas
+        cost nothing until warmed.
+    tenants:
+        tenant names or ``add_tenant`` keyword dicts (``tenant_id``,
+        ``api_key``, ``rate_qps``, ``burst``).  Defaults to a single
+        ``default`` tenant with key ``key-default``.
+    server:
+        backend topology per deployment (``local`` / ``sharded``);
+        ``server_kwargs`` flow into that builder (``num_shards``, ...).
+    versions / states:
+        optional per-deployment version pins (default ``v1``) and
+        ``warm``/``cold`` start states (default ``warm``).
+    remaining keywords:
+        gateway knobs, forwarded to :class:`Gateway` (micro-batching,
+        result-cache TTL, admission depth, default deadline).
+    """
+    if not sources:
+        raise ValueError("build_gateway needs at least one deployment")
+    gw = Gateway(clock=clock, max_batch=max_batch, max_wait=max_wait,
+                 service_time=service_time, cache_ttl=cache_ttl,
+                 cache_entries=cache_entries,
+                 max_queue_depth=max_queue_depth, ewma_alpha=ewma_alpha,
+                 default_deadline=default_deadline,
+                 store_capacity=store_capacity)
+    for name, source in sources.items():
+        gw.add_deployment(
+            name,
+            session_source(source, server=server, max_batch=max_batch,
+                           **server_kwargs),
+            version=(versions or {}).get(name, "v1"),
+            state=(states or {}).get(name, "warm"))
+    for tenant in _normalise_tenants(tenants):
+        gw.add_tenant(**tenant)
+    return gw

@@ -14,13 +14,24 @@ Turns trained checkpoints into a queryable, instrumented service:
   facade tying session + queue + clock together.
 - :class:`~repro.serving.loadgen.LoadGenerator` — reproducible closed-
   and open-loop load with p50/p95/p99 latency and QPS reporting.
+- :mod:`repro.serving.gateway` — the multi-tenant front door: deployment
+  registry with blue-green swaps, API-key auth + quotas, admission
+  control with load shedding, and a TTL result cache
+  (:class:`~repro.serving.gateway.Gateway`, driven per tenant by
+  :class:`~repro.serving.loadgen.GatewayLoadGenerator`).
 
-The declarative entry point lives in ``repro.api``:
-``serve(spec_or_checkpoint) -> ForecastService``.
+The declarative entry points live in ``repro.api``:
+``serve(spec_or_checkpoint) -> ForecastService`` and
+``build_gateway({name: source, ...}) -> Gateway``.
 """
 
 from repro.serving.cache import FeatureStore
-from repro.serving.loadgen import LoadGenerator, LoadReport
+from repro.serving.loadgen import (
+    GatewayLoadGenerator,
+    LoadGenerator,
+    LoadReport,
+    TenantStream,
+)
 from repro.serving.queue import ForecastRequest, MicroBatchQueue
 from repro.serving.service import Forecast, ForecastService, ManualClock, ServiceStats
 from repro.serving.session import ModelSession
@@ -30,20 +41,46 @@ from repro.serving.sharding import (
     ShardWorker,
     halo_nodes,
 )
+from repro.serving.gateway import (
+    AdmissionController,
+    AuthError,
+    Deployment,
+    DeploymentRegistry,
+    Gateway,
+    GatewayResponse,
+    ResultCache,
+    ShedDecision,
+    SwapRecord,
+    Tenant,
+    TenantManager,
+)
 
 __all__ = [
+    "AdmissionController",
+    "AuthError",
+    "Deployment",
+    "DeploymentRegistry",
     "FailoverEvent",
     "FeatureStore",
     "Forecast",
     "ForecastRequest",
     "ForecastService",
+    "Gateway",
+    "GatewayLoadGenerator",
+    "GatewayResponse",
     "LoadGenerator",
     "LoadReport",
     "ManualClock",
     "MicroBatchQueue",
     "ModelSession",
+    "ResultCache",
     "ServiceStats",
     "ShardWorker",
     "ShardedSession",
+    "ShedDecision",
+    "SwapRecord",
+    "Tenant",
+    "TenantManager",
+    "TenantStream",
     "halo_nodes",
 ]

@@ -1,0 +1,69 @@
+"""``repro.serving.gateway``: the multi-tenant serving front door.
+
+Everything PRs 3-5 built — sessions, micro-batching, sharding, failover —
+serves one model to one caller.  This package is the production front
+end over all of it:
+
+- :class:`~repro.serving.gateway.deployments.DeploymentRegistry` — named,
+  version-pinned deployments (warm/cold replicas, atomic blue-green
+  checkpoint swaps that drain in-flight requests).
+- :class:`~repro.serving.gateway.tenancy.TenantManager` — API-key auth,
+  deterministic token-bucket quotas, per-tenant isolated feature stores.
+- :class:`~repro.serving.gateway.admission.AdmissionController` —
+  deadline-projection load shedding, recorded per tenant.
+- :class:`~repro.serving.gateway.result_cache.ResultCache` — TTL result
+  cache keyed on (deployment, version, sensor-set, window hash); hits
+  are bitwise equal to recomputation.
+- :class:`~repro.serving.gateway.gateway.Gateway` — the app factory tying
+  them together on the subsystem's ManualClock/real-clock duality.
+
+The declarative entry point is ``repro.api.build_gateway`` (and
+``serve(..., server="gateway")`` for the single-deployment case).
+"""
+
+from repro.serving.gateway.admission import AdmissionController, ShedDecision
+from repro.serving.gateway.deployments import (
+    Deployment,
+    DeploymentRegistry,
+    SwapRecord,
+)
+from repro.serving.gateway.gateway import (
+    Gateway,
+    GatewayResponse,
+    GatewayStats,
+    TERMINAL_STATUSES,
+)
+from repro.serving.gateway.result_cache import (
+    CacheStats,
+    ResultCache,
+    cache_key,
+    window_fingerprint,
+)
+from repro.serving.gateway.tenancy import (
+    AuthError,
+    Tenant,
+    TenantManager,
+    TenantQuota,
+    TenantStats,
+)
+
+__all__ = [
+    "AdmissionController",
+    "AuthError",
+    "CacheStats",
+    "Deployment",
+    "DeploymentRegistry",
+    "Gateway",
+    "GatewayResponse",
+    "GatewayStats",
+    "ResultCache",
+    "ShedDecision",
+    "SwapRecord",
+    "TERMINAL_STATUSES",
+    "Tenant",
+    "TenantManager",
+    "TenantQuota",
+    "TenantStats",
+    "cache_key",
+    "window_fingerprint",
+]

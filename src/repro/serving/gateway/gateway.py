@@ -1,0 +1,429 @@
+"""The multi-tenant serving gateway: one front door over many models.
+
+:class:`Gateway` composes the pieces of this package into the
+millions-of-users entry point the roadmap asks for:
+
+- a :class:`~repro.serving.gateway.deployments.DeploymentRegistry` of
+  named, version-pinned deployments (each its own micro-batching
+  :class:`~repro.serving.service.ForecastService` on the shared clock,
+  warm or cold, blue-green swappable);
+- a :class:`~repro.serving.gateway.tenancy.TenantManager` — API-key
+  auth, token-bucket quotas, per-tenant isolated feature stores;
+- an :class:`~repro.serving.gateway.admission.AdmissionController` that
+  sheds requests whose projected completion blows their deadline;
+- an optional :class:`~repro.serving.gateway.result_cache.ResultCache`
+  whose hits are bitwise equal to recomputation.
+
+Every request flows ``authenticate -> quota -> cache -> admission ->
+micro-batch queue``; each stage that refuses produces a terminal
+:class:`GatewayResponse` with an explicit status, so the load generator
+can separate goodput from shed, quota and cache traffic exactly.
+
+Time keeps the subsystem's clock duality: the gateway runs on a
+:class:`~repro.serving.service.ManualClock` by default (bit-reproducible
+schedules under the load generator) or on ``time.perf_counter`` for wall
+operation, where :meth:`handle_concurrent` serves requests through a
+stdlib thread pool.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from threading import RLock
+from typing import Any, Callable
+
+import numpy as np
+
+from repro.serving.gateway.admission import AdmissionController
+from repro.serving.gateway.deployments import (
+    Deployment, DeploymentRegistry, SwapRecord)
+from repro.serving.gateway.result_cache import ResultCache, cache_key
+from repro.serving.gateway.tenancy import Tenant, TenantManager
+from repro.serving.service import Forecast, ManualClock
+from repro.utils.errors import ShapeError
+
+#: Terminal response statuses (everything except "admitted").
+TERMINAL_STATUSES = ("ok", "cached", "shed", "rejected_quota")
+
+
+@dataclass
+class GatewayResponse:
+    """The gateway's answer to one request.
+
+    ``status`` is the request's fate: ``"admitted"`` (queued; the
+    forecast arrives at a later :meth:`Gateway.poll`), ``"ok"``
+    (completed, ``forecast`` attached), ``"cached"`` (served from the
+    result cache, bitwise equal to recomputation), ``"shed"`` (admission
+    control refused — see ``reason``), or ``"rejected_quota"`` (the
+    tenant's token bucket ran dry).
+    """
+
+    status: str
+    tenant: str
+    deployment: str
+    version: str
+    request_id: int | None = None
+    forecast: Forecast | None = None
+    cached: bool = False
+    reason: str = ""
+
+    @property
+    def ok(self) -> bool:
+        return self.status in ("ok", "cached")
+
+    @property
+    def latency(self) -> float:
+        """Completion latency on the gateway clock (0.0 for cache hits)."""
+        if self.status == "cached":
+            return 0.0
+        if self.forecast is None:
+            raise RuntimeError(f"request {self.request_id} has no forecast "
+                               f"yet (status {self.status!r})")
+        return self.forecast.latency
+
+
+@dataclass
+class GatewayStats:
+    """Aggregate request accounting across all tenants and deployments."""
+
+    requests: int = 0
+    admitted: int = 0
+    completed: int = 0
+    cache_hits: int = 0
+    shed: int = 0
+    quota_rejected: int = 0
+    swaps: int = 0
+
+    def to_dict(self) -> dict:
+        return dict(self.__dict__)
+
+
+class Gateway:
+    """Multi-tenant, admission-controlled front end over model deployments.
+
+    Parameters
+    ----------
+    clock:
+        shared clock for queues, quotas, cache TTLs and latency stamps;
+        defaults to a fresh :class:`ManualClock` (simulated time).
+    max_batch / max_wait / service_time:
+        default micro-batching knobs for deployments (overridable per
+        deployment at registration).
+    cache_ttl / cache_entries:
+        result-cache lifetime and capacity; ``cache_ttl=None`` disables
+        caching entirely.
+    max_queue_depth:
+        hard per-deployment pending cap; arrivals past it are shed.
+    default_deadline:
+        seconds added to the submit-time clock when a request carries no
+        explicit deadline (``None`` = unbounded requests never shed on
+        projection, only on the depth cap).
+    store_capacity:
+        rows kept in each tenant-private feature store.
+    """
+
+    def __init__(self, *, clock: Callable[[], float] | None = None,
+                 max_batch: int = 8, max_wait: float = 0.005,
+                 service_time: Callable[[int], float] | None = None,
+                 cache_ttl: float | None = None, cache_entries: int = 1024,
+                 max_queue_depth: int = 256, ewma_alpha: float = 0.2,
+                 default_deadline: float | None = None,
+                 store_capacity: int | None = None):
+        self.clock = clock if clock is not None else ManualClock()
+        self.deployments = DeploymentRegistry(
+            self.clock, max_batch=max_batch, max_wait=max_wait,
+            service_time=service_time)
+        self.tenants = TenantManager(self.clock)
+        self.admission = AdmissionController(
+            self.clock, max_queue_depth=max_queue_depth,
+            ewma_alpha=ewma_alpha)
+        self.cache = (ResultCache(ttl=cache_ttl, max_entries=cache_entries,
+                                  clock=self.clock)
+                      if cache_ttl is not None else None)
+        self.default_deadline = default_deadline
+        self.store_capacity = store_capacity
+        self.stats = GatewayStats()
+        #: (deployment, request_id) -> (tenant_id, cache key or None)
+        self._pending: dict[tuple[str, int], tuple[str, tuple | None]] = {}
+        self._completed: list[GatewayResponse] = []
+        self._lock = RLock()
+
+    # ------------------------------------------------------------------
+    # App factory: registration
+    # ------------------------------------------------------------------
+    def add_deployment(self, name: str, source: Any, *, version: str = "v1",
+                       state: str = "warm", **knobs) -> Deployment:
+        """Register a deployment (session, factory, or checkpoint path)."""
+        dep = self.deployments.register(name, source, version=version,
+                                        state=state, **knobs)
+        if dep.service_time is not None:
+            # A synthetic service-time model makes projections exact from
+            # the first request; measured deployments learn by EWMA.
+            self.admission.seed_estimate(dep.name,
+                                         dep.service_time(dep.max_batch))
+        return dep
+
+    def add_tenant(self, tenant_id: str, *, api_key: str | None = None,
+                   rate_qps: float | None = None, burst: int = 32) -> Tenant:
+        """Register a tenant; the returned object's ``api_key`` is its
+        credential for every data-plane call."""
+        return self.tenants.register(tenant_id, api_key=api_key,
+                                     rate_qps=rate_qps, burst=burst)
+
+    # ------------------------------------------------------------------
+    # Streaming observations (tenant-isolated)
+    # ------------------------------------------------------------------
+    def ingest(self, api_key: str, deployment: str, values: np.ndarray,
+               timestamp_minutes: float) -> None:
+        """Stream one observation row into the calling tenant's private
+        store for ``deployment`` (created lazily, never shared)."""
+        tenant = self.tenants.authenticate(api_key)
+        dep = self.deployments.get(deployment).warm()
+        store = tenant.stores.get(dep.name)
+        if store is None:
+            store = dep.new_store(self.store_capacity)
+            tenant.stores[dep.name] = store
+        store.ingest(values, timestamp_minutes)
+
+    def _tenant_window(self, tenant: Tenant, dep: Deployment) -> np.ndarray:
+        store = tenant.stores.get(dep.name)
+        if store is None:
+            raise RuntimeError(
+                f"tenant {tenant.tenant_id!r} has streamed nothing into "
+                f"deployment {dep.name!r}; ingest history or submit an "
+                f"explicit window")
+        return store.window(dep.session.horizon)
+
+    # ------------------------------------------------------------------
+    # The request path
+    # ------------------------------------------------------------------
+    def _check_window(self, dep: Deployment, window: np.ndarray) -> np.ndarray:
+        session = dep.session
+        window = np.asarray(window)
+        expected = (session.horizon, session.num_nodes, session.in_features)
+        if window.shape != expected:
+            raise ShapeError(f"expected a {expected} window for deployment "
+                             f"{dep.name!r}, got {window.shape}")
+        return window
+
+    def submit(self, api_key: str, deployment: str,
+               window: np.ndarray | None = None, *,
+               deadline: float | None = None) -> GatewayResponse:
+        """Run one request through auth -> quota -> cache -> admission.
+
+        Returns a terminal response, or an ``"admitted"`` ticket whose
+        forecast arrives from a later :meth:`poll`/:meth:`flush`.
+        ``deadline`` is absolute clock time; when omitted the gateway's
+        ``default_deadline`` (relative seconds) applies.
+        """
+        tenant = self.tenants.authenticate(api_key)
+        dep = self.deployments.get(deployment).warm()
+        now = self.clock()
+        tenant.stats.submitted += 1
+        self.stats.requests += 1
+
+        def refuse(status: str, reason: str = "") -> GatewayResponse:
+            return GatewayResponse(status=status, tenant=tenant.tenant_id,
+                                   deployment=dep.name, version=dep.version,
+                                   reason=reason)
+
+        if not tenant.try_spend_token(now):
+            tenant.stats.quota_rejected += 1
+            self.stats.quota_rejected += 1
+            return refuse("rejected_quota", "token bucket empty")
+        window = (self._tenant_window(tenant, dep) if window is None
+                  else self._check_window(dep, window))
+        if deadline is None and self.default_deadline is not None:
+            deadline = now + self.default_deadline
+
+        key = None
+        if self.cache is not None:
+            key = cache_key(dep.name, dep.version, window)
+            hit = self.cache.get(key)
+            if hit is not None:
+                tenant.stats.cache_hits += 1
+                self.stats.cache_hits += 1
+                fc = Forecast(request_id=-1, predictions=hit, latency=0.0,
+                              queue_wait=0.0, batch_size=0,
+                              deadline_missed=False)
+                resp = refuse("cached")
+                resp.cached, resp.forecast = True, fc
+                return resp
+
+        svc = dep.service
+        decision = self.admission.admit(svc.queue, tenant=tenant.tenant_id,
+                                        deployment=dep.name,
+                                        deadline=deadline)
+        if decision is not None:
+            tenant.stats.shed += 1
+            self.stats.shed += 1
+            return refuse("shed", decision.reason)
+        rid = svc.submit(window, deadline=deadline)
+        self._pending[(dep.name, rid)] = (tenant.tenant_id, key)
+        tenant.stats.admitted += 1
+        self.stats.admitted += 1
+        return GatewayResponse(status="admitted", tenant=tenant.tenant_id,
+                               deployment=dep.name, version=dep.version,
+                               request_id=rid)
+
+    def request(self, api_key: str, deployment: str,
+                window: np.ndarray | None = None, *,
+                deadline: float | None = None) -> GatewayResponse:
+        """Synchronous request: submit, then force the deployment's queue
+        through (coalescing with anything pending) and return this
+        request's completed response.  Other requests' completions stay
+        buffered for :meth:`poll`/:meth:`flush`."""
+        resp = self.submit(api_key, deployment, window, deadline=deadline)
+        if resp.status != "admitted":
+            return resp
+        dep = self.deployments.get(deployment)
+        self._drain_deployment(dep, force=True)
+        for i, r in enumerate(self._completed):
+            if r.deployment == dep.name and r.request_id == resp.request_id:
+                return self._completed.pop(i)
+        raise RuntimeError(                                # pragma: no cover
+            f"request {resp.request_id} never completed")
+
+    # ------------------------------------------------------------------
+    # Completion plumbing
+    # ------------------------------------------------------------------
+    def _absorb(self, dep: Deployment, forecasts: list[Forecast]) -> None:
+        """Attribute completed forecasts to tenants, fill the cache, and
+        buffer the responses for the next poll."""
+        for fc in forecasts:
+            tenant_id, key = self._pending.pop((dep.name, fc.request_id))
+            tenant = self.tenants.get(tenant_id)
+            tenant.stats.completed += 1
+            tenant.stats.deadline_misses += int(fc.deadline_missed)
+            self.stats.completed += 1
+            if self.cache is not None and key is not None:
+                self.cache.put(key, fc.predictions)
+            self._completed.append(GatewayResponse(
+                status="ok", tenant=tenant_id, deployment=dep.name,
+                version=dep.version, request_id=fc.request_id, forecast=fc))
+
+    def _drain_deployment(self, dep: Deployment, *, force: bool) -> None:
+        svc = dep.service
+        if svc is None:
+            return
+        batches0 = svc.stats.batches
+        busy0 = svc.stats.busy_seconds
+        self._absorb(dep, svc.flush() if force else svc.poll())
+        dispatched = svc.stats.batches - batches0
+        if dispatched:
+            self.admission.observe(
+                dep.name, (svc.stats.busy_seconds - busy0) / dispatched)
+
+    def poll(self) -> list[GatewayResponse]:
+        """Dispatch every due batch on every deployment; returns (and
+        drains) newly completed responses."""
+        for dep in self.deployments.deployments():
+            self._drain_deployment(dep, force=False)
+        done, self._completed = self._completed, []
+        return done
+
+    def flush(self) -> list[GatewayResponse]:
+        """Force-dispatch everything pending on every deployment."""
+        for dep in self.deployments.deployments():
+            self._drain_deployment(dep, force=True)
+        done, self._completed = self._completed, []
+        return done
+
+    def time_until_ready(self) -> float | None:
+        """Seconds until the earliest coalescing timer fires across all
+        deployments (0 when a batch is ready now, ``None`` when every
+        queue is empty) — the load generator's event-driven hook."""
+        times = [dep.service.queue.time_until_ready()
+                 for dep in self.deployments.deployments()
+                 if dep.service is not None]
+        times = [t for t in times if t is not None]
+        return min(times) if times else None
+
+    # ------------------------------------------------------------------
+    # Blue-green swap
+    # ------------------------------------------------------------------
+    def swap(self, deployment: str, source: Any, *,
+             version: str) -> SwapRecord:
+        """Atomically swap ``deployment`` to a new checkpoint ``version``.
+
+        The blue queue drains first (its completions are delivered to
+        their tenants at the next poll — zero dropped in-flight
+        requests), then the service flips to the green session and the
+        deployment's cache entries are invalidated.
+        """
+        dep = self.deployments.get(deployment)
+        svc = dep.service
+        batches0 = svc.stats.batches if svc is not None else 0
+        busy0 = svc.stats.busy_seconds if svc is not None else 0.0
+        record, drained = dep.swap(source, version=version)
+        self._absorb(dep, drained)
+        svc = dep.service
+        dispatched = svc.stats.batches - batches0
+        if dispatched:
+            self.admission.observe(
+                dep.name, (svc.stats.busy_seconds - busy0) / dispatched)
+        if self.cache is not None:
+            self.cache.invalidate(dep.name)
+        self.stats.swaps += 1
+        return record
+
+    # ------------------------------------------------------------------
+    # Thread-pooled stdlib dispatch (real-clock mode)
+    # ------------------------------------------------------------------
+    def handle_concurrent(self, requests: list[dict], *,
+                          max_workers: int = 8) -> list[GatewayResponse]:
+        """Serve many requests concurrently through a stdlib thread pool.
+
+        Each element of ``requests`` is keyword arguments for
+        :meth:`submit` (``api_key``, ``deployment``, optional ``window``
+        and ``deadline``).  On a real clock the requests are submitted
+        from pool threads (micro-batching coalesces whatever lands in the
+        same ``max_wait``) and each thread waits for its own completion;
+        on a :class:`ManualClock` the pool degenerates to deterministic
+        submission order, since simulated time cannot advance
+        concurrently.  Responses come back in request order either way.
+        """
+        requests = list(requests)
+        if isinstance(self.clock, ManualClock):
+            responses = [self.submit(**kw) for kw in requests]
+            done = {(r.deployment, r.request_id): r for r in self.flush()}
+            return [done.get((r.deployment, r.request_id), r)
+                    if r.status == "admitted" else r for r in responses]
+
+        from concurrent.futures import ThreadPoolExecutor
+
+        ready: dict[tuple[str, int], GatewayResponse] = {}
+
+        def one(kw: dict) -> GatewayResponse:
+            with self._lock:
+                resp = self.submit(**kw)
+            if resp.status != "admitted":
+                return resp
+            key = (resp.deployment, resp.request_id)
+            while True:
+                with self._lock:
+                    if key in ready:
+                        return ready.pop(key)
+                    for r in self.poll():
+                        ready[(r.deployment, r.request_id)] = r
+                    if key in ready:
+                        return ready.pop(key)
+                time.sleep(1e-4)
+
+        with ThreadPoolExecutor(max_workers=max_workers) as pool:
+            return list(pool.map(one, requests))
+
+    # ------------------------------------------------------------------
+    def describe(self) -> dict:
+        """One introspection dict: gateway, deployments, tenants, cache."""
+        return {
+            "stats": self.stats.to_dict(),
+            "deployments": self.deployments.describe(),
+            "tenants": self.tenants.per_tenant_stats(),
+            "auth_failures": self.tenants.auth_failures,
+            "shed_by_reason": self.admission.shed_by_reason(),
+            "shed_by_tenant": self.admission.shed_by_tenant(),
+            "cache": (self.cache.stats.to_dict()
+                      if self.cache is not None else None),
+        }

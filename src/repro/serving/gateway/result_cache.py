@@ -1,0 +1,184 @@
+"""TTL result cache for forecast responses.
+
+A forecast is a pure function of ``(model version, input window)``: the
+serving stack runs deterministic ``no_grad`` NumPy forwards, so two
+requests carrying bitwise-identical windows against the same deployment
+version must produce bitwise-identical predictions.  The cache exploits
+that purity — entries are keyed on ``(deployment, version, sensor-set,
+window hash)`` and a hit returns a copy of the stored prediction array,
+**bitwise equal** to what recomputation would have produced (the gateway
+tests and ``gateway_bench`` both pin this).
+
+Time is the gateway's clock (simulated or wall), so TTL expiry is exactly
+as reproducible as the request schedule that drives it.  Capacity is
+bounded: insertion past ``max_entries`` evicts the least-recently-used
+entry first.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+
+def window_fingerprint(window: np.ndarray) -> str:
+    """A collision-resistant digest of one model-input window.
+
+    Hashes dtype + shape + raw bytes (C-order), so two windows collide
+    only if they are bitwise identical arrays of the same shape.
+    """
+    window = np.ascontiguousarray(window)
+    h = hashlib.blake2b(digest_size=16)
+    h.update(str(window.dtype).encode())
+    h.update(str(window.shape).encode())
+    h.update(window.tobytes())
+    return h.hexdigest()
+
+
+def cache_key(deployment: str, version: str, window: np.ndarray,
+              sensors: np.ndarray | None = None) -> tuple:
+    """The full cache key: deployment identity + sensor subset + window.
+
+    ``sensors=None`` means "all sensors" (the whole-graph forecast the
+    front door serves by default); a subset keys separately so routed
+    per-sensor answers never alias whole-graph ones.
+    """
+    sensor_key = ("all" if sensors is None
+                  else tuple(int(s) for s in np.atleast_1d(sensors)))
+    return (str(deployment), str(version), sensor_key,
+            window_fingerprint(window))
+
+
+@dataclass
+class CacheStats:
+    """Aggregate cache accounting."""
+
+    hits: int = 0
+    misses: int = 0
+    insertions: int = 0
+    expirations: int = 0
+    evictions: int = 0
+    invalidations: int = 0
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def to_dict(self) -> dict:
+        return {"hits": self.hits, "misses": self.misses,
+                "insertions": self.insertions,
+                "expirations": self.expirations,
+                "evictions": self.evictions,
+                "invalidations": self.invalidations,
+                "hit_rate": self.hit_rate}
+
+
+@dataclass
+class _Entry:
+    predictions: np.ndarray
+    expires: float
+    deployment: str = ""
+    nbytes: int = field(init=False)
+
+    def __post_init__(self):
+        self.nbytes = int(self.predictions.nbytes)
+
+
+class ResultCache:
+    """LRU + TTL cache of completed forecasts.
+
+    Parameters
+    ----------
+    ttl:
+        seconds (on the supplied clock) an entry stays valid.
+    max_entries:
+        LRU capacity bound; inserting past it evicts the coldest entry.
+    clock:
+        the gateway's clock — simulated or wall, shared with the queues
+        so expiry composes with the request schedule.
+    """
+
+    def __init__(self, *, ttl: float = 60.0, max_entries: int = 1024,
+                 clock: Callable[[], float] | None = None):
+        if ttl <= 0:
+            raise ValueError(f"ttl must be positive, got {ttl}")
+        if max_entries < 1:
+            raise ValueError(f"max_entries must be >= 1, got {max_entries}")
+        import time
+        self.ttl = float(ttl)
+        self.max_entries = int(max_entries)
+        self.clock = clock if clock is not None else time.perf_counter
+        self._entries: OrderedDict[tuple, _Entry] = OrderedDict()
+        self.stats = CacheStats()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @property
+    def resident_nbytes(self) -> int:
+        return sum(e.nbytes for e in self._entries.values())
+
+    # ------------------------------------------------------------------
+    def get(self, key: tuple) -> np.ndarray | None:
+        """The cached predictions for ``key`` (an owned copy), or ``None``.
+
+        Expired entries are dropped on touch; a live hit refreshes LRU
+        recency but never the TTL — an entry's lifetime is bounded by its
+        insertion time, so a hot key cannot serve arbitrarily stale data.
+        """
+        entry = self._entries.get(key)
+        if entry is None:
+            self.stats.misses += 1
+            return None
+        if self.clock() >= entry.expires:
+            del self._entries[key]
+            self.stats.expirations += 1
+            self.stats.misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self.stats.hits += 1
+        return entry.predictions.copy()
+
+    def put(self, key: tuple, predictions: np.ndarray) -> None:
+        """Store one completed forecast (an owned copy) under ``key``."""
+        if key in self._entries:
+            self._entries.move_to_end(key)
+        elif len(self._entries) >= self.max_entries:
+            self._entries.popitem(last=False)
+            self.stats.evictions += 1
+        self._entries[key] = _Entry(
+            predictions=np.ascontiguousarray(predictions).copy(),
+            expires=self.clock() + self.ttl, deployment=str(key[0]))
+        self.stats.insertions += 1
+
+    def invalidate(self, deployment: str | None = None) -> int:
+        """Drop entries (all, or one deployment's); returns the count.
+
+        Version-keyed entries can never serve a swapped deployment's new
+        traffic anyway — invalidation just releases their memory eagerly.
+        """
+        if deployment is None:
+            dropped = len(self._entries)
+            self._entries.clear()
+        else:
+            stale = [k for k, e in self._entries.items()
+                     if e.deployment == str(deployment)]
+            for k in stale:
+                del self._entries[k]
+            dropped = len(stale)
+        self.stats.invalidations += dropped
+        return dropped
+
+    def purge_expired(self) -> int:
+        """Drop every entry past its TTL now; returns the count."""
+        now = self.clock()
+        stale = [k for k, e in self._entries.items() if now >= e.expires]
+        for k in stale:
+            del self._entries[k]
+        self.stats.expirations += len(stale)
+        return len(stale)

@@ -33,7 +33,14 @@ from repro.utils.errors import ShapeError
 
 @dataclass
 class LoadReport:
-    """Aggregate outcome of one load-generation run."""
+    """Aggregate outcome of one load-generation run.
+
+    Gateway runs (see :class:`GatewayLoadGenerator`) additionally fill
+    ``goodput_qps`` (successfully answered requests — computed or cached
+    — per second), ``shed_rate`` (admission-shed fraction of submitted
+    requests) and ``per_tenant`` (one breakdown dict per tenant); plain
+    service runs leave them ``None``.
+    """
 
     scenario: str
     mode: str                    # "closed" | "open"
@@ -54,6 +61,9 @@ class LoadReport:
     seed: int
     failovers: int = 0           # shard failovers observed during the run
     failover_p99: float = 0.0    # p99 failover rebuild latency (wall s)
+    goodput_qps: float | None = None   # gateway: good answers / duration
+    shed_rate: float | None = None     # gateway: shed / submitted
+    per_tenant: dict | None = None     # gateway: tenant -> breakdown
 
     def to_dict(self) -> dict:
         return {k: (v if not isinstance(v, float) else float(v))
@@ -62,12 +72,16 @@ class LoadReport:
     def summary(self) -> str:
         offered = (f" (offered {self.offered_qps:.0f} qps)"
                    if self.offered_qps else "")
-        return (f"{self.scenario}: {self.requests} reqs in "
+        text = (f"{self.scenario}: {self.requests} reqs in "
                 f"{self.duration_seconds * 1e3:.1f} ms -> "
                 f"{self.qps:.0f} qps{offered}, latency p50/p95/p99 "
                 f"{self.latency_p50 * 1e3:.2f}/{self.latency_p95 * 1e3:.2f}/"
                 f"{self.latency_p99 * 1e3:.2f} ms, mean batch "
                 f"{self.mean_batch_size:.1f}, misses {self.deadline_misses}")
+        if self.goodput_qps is not None:
+            text += (f", goodput {self.goodput_qps:.0f} qps, shed "
+                     f"{self.shed_rate:.1%}")
+        return text
 
 
 class LoadGenerator:
@@ -250,3 +264,216 @@ class LoadGenerator:
         self._drain(done)
         return self._report(scenario, "open", done, start, float(rate_qps),
                             busy0, batches0, failover0)
+
+
+# ---------------------------------------------------------------------------
+# Gateway traffic: per-tenant open-loop streams with goodput/shed reporting
+# ---------------------------------------------------------------------------
+@dataclass
+class TenantStream:
+    """One tenant's open-loop arrival stream against one deployment.
+
+    ``rate_qps`` is the stream's offered rate; ``deadline`` (relative
+    seconds, optional) is stamped on every request and drives admission
+    control's shed decisions.
+    """
+
+    api_key: str
+    deployment: str
+    rate_qps: float
+    requests: int
+    arrival: str = "poisson"        # "poisson" | "uniform"
+    deadline: float | None = None
+
+    def __post_init__(self):
+        if self.rate_qps <= 0:
+            raise ValueError(f"rate_qps must be positive, "
+                             f"got {self.rate_qps}")
+        if self.requests < 1:
+            raise ValueError(f"requests must be >= 1, got {self.requests}")
+        if self.arrival not in ("poisson", "uniform"):
+            raise ValueError(f"arrival must be 'poisson' or 'uniform', "
+                             f"got {self.arrival!r}")
+
+
+class GatewayLoadGenerator:
+    """Drives a :class:`~repro.serving.gateway.Gateway` with per-tenant
+    open-loop streams, reporting goodput, shed rate and per-tenant
+    breakdowns on top of the usual latency percentiles.
+
+    The generator owns simulated time exactly like :class:`LoadGenerator`
+    (the gateway must run on a :class:`ManualClock`): per-stream arrival
+    schedules are seeded, merged into one global timeline, and processed
+    event-by-event against every deployment's coalescing timer — so with
+    synthetic service-time models the entire multi-tenant run is
+    bit-reproducible, shed decisions included.
+    """
+
+    def __init__(self, gateway: Any, windows: np.ndarray, *, seed: int = 0):
+        if not isinstance(gateway.clock, ManualClock):
+            raise TypeError("GatewayLoadGenerator needs a gateway on a "
+                            "ManualClock; it drives simulated time "
+                            "explicitly")
+        windows = np.asarray(windows)
+        if windows.ndim != 4 or len(windows) == 0:
+            raise ShapeError(f"windows pool must be non-empty "
+                             f"[pool, horizon, nodes, features], "
+                             f"got {windows.shape}")
+        self.gateway = gateway
+        self.clock: ManualClock = gateway.clock
+        self.windows = windows
+        self.seed = int(seed)
+        self.rng = np.random.default_rng(self.seed)
+
+    # ------------------------------------------------------------------
+    def _pick_window(self) -> np.ndarray:
+        return self.windows[int(self.rng.integers(len(self.windows)))]
+
+    def _merged_arrivals(self, streams: list[TenantStream],
+                         start: float) -> list[tuple[float, int, int]]:
+        """All streams' arrival times merged into one sorted timeline.
+
+        Returns ``(time, tiebreak, stream_index)`` triples; the tiebreak
+        keeps simultaneous arrivals in a deterministic order.  RNG draws
+        happen per stream in stream order, so the schedule is a pure
+        function of (seed, streams).
+        """
+        events: list[tuple[float, int, int]] = []
+        seq = 0
+        for i, stream in enumerate(streams):
+            if stream.arrival == "poisson":
+                gaps = self.rng.exponential(1.0 / stream.rate_qps,
+                                            size=stream.requests)
+            else:
+                gaps = np.full(stream.requests, 1.0 / stream.rate_qps)
+            for t in start + np.cumsum(gaps):
+                events.append((float(t), seq, i))
+                seq += 1
+        events.sort()
+        return events
+
+    def _fire_timers_until(self, t: float,
+                           sink: list[Any]) -> None:
+        """Advance through every deployment's coalescing-timer expiry
+        before time ``t``, collecting completions as they happen."""
+        while True:
+            remaining = self.gateway.time_until_ready()
+            if remaining is None:
+                return
+            fire_at = self.clock.now + remaining
+            if fire_at > t:
+                return
+            self.clock.advance_to(fire_at)
+            sink.extend(self.gateway.poll())
+
+    def _drain(self, sink: list[Any]) -> None:
+        while True:
+            remaining = self.gateway.time_until_ready()
+            if remaining is None:
+                return
+            self.clock.advance_to(self.clock.now + remaining)
+            sink.extend(self.gateway.poll())
+
+    # ------------------------------------------------------------------
+    def open_loop(self, streams: list[TenantStream], *,
+                  scenario: str = "gateway-open") -> LoadReport:
+        """Run every stream's arrivals on one merged timeline."""
+        if not streams:
+            raise ValueError("need at least one TenantStream")
+        gw = self.gateway
+        start = self.clock.now
+        deps = gw.deployments.deployments()
+        busy0 = sum(d.service.stats.busy_seconds for d in deps
+                    if d.service is not None)
+        batches0 = sum(d.service.stats.batches for d in deps
+                       if d.service is not None)
+        responses: list[Any] = []
+        for t, _, i in self._merged_arrivals(streams, start):
+            stream = streams[i]
+            self._fire_timers_until(t, responses)
+            self.clock.advance_to(t)
+            # Deadlines anchor at the *scheduled* arrival, not the (possibly
+            # later) clock: past capacity the service's dispatches push
+            # simulated time ahead of the arrival schedule, so late requests
+            # arrive with part of their budget already spent — which is what
+            # makes admission control shed under genuine overload.
+            deadline = (None if stream.deadline is None
+                        else t + stream.deadline)
+            resp = gw.submit(stream.api_key, stream.deployment,
+                             self._pick_window(), deadline=deadline)
+            if resp.status != "admitted":
+                responses.append(resp)
+            responses.extend(gw.poll())
+        self._drain(responses)
+        responses.extend(gw.flush())    # safety: nothing may stay queued
+        return self._report(scenario, streams, responses, start,
+                            busy0, batches0)
+
+    # ------------------------------------------------------------------
+    def _report(self, scenario: str, streams: list[TenantStream],
+                responses: list[Any], start: float, busy0: float,
+                batches0: int) -> LoadReport:
+        duration = self.clock.now - start
+        deps = self.gateway.deployments.deployments()
+        busy = sum(d.service.stats.busy_seconds for d in deps
+                   if d.service is not None) - busy0
+        batches = sum(d.service.stats.batches for d in deps
+                      if d.service is not None) - batches0
+        good = [r for r in responses if r.ok]
+        shed = [r for r in responses if r.status == "shed"]
+        computed = [r for r in good if not r.cached]
+        lat = np.array([r.latency for r in good], dtype=np.float64)
+        waits = np.array([r.forecast.queue_wait for r in computed],
+                         dtype=np.float64)
+        sizes = np.array([r.forecast.batch_size for r in computed],
+                         dtype=np.float64)
+        p50, p95, p99 = (np.percentile(lat, [50, 95, 99])
+                         if len(lat) else (np.nan,) * 3)
+        submitted = len(responses)
+        offered = float(sum(s.rate_qps for s in streams))
+
+        per_tenant: dict[str, dict] = {}
+        for r in responses:
+            t = per_tenant.setdefault(r.tenant, {
+                "requests": 0, "completed": 0, "cache_hits": 0,
+                "shed": 0, "quota_rejected": 0, "deadline_misses": 0,
+                "latencies": []})
+            t["requests"] += 1
+            if r.ok:
+                t["completed"] += 1
+                t["latencies"].append(r.latency)
+                t["cache_hits"] += int(r.cached)
+                if r.forecast is not None and not r.cached:
+                    t["deadline_misses"] += int(r.forecast.deadline_missed)
+            elif r.status == "shed":
+                t["shed"] += 1
+            elif r.status == "rejected_quota":
+                t["quota_rejected"] += 1
+        for t in per_tenant.values():
+            lats = np.array(t.pop("latencies"), dtype=np.float64)
+            t["goodput_qps"] = (t["completed"] / duration
+                                if duration > 0 else 0.0)
+            t["shed_rate"] = (t["shed"] / t["requests"]
+                              if t["requests"] else 0.0)
+            t["latency_p99"] = (float(np.percentile(lats, 99))
+                                if len(lats) else float("nan"))
+
+        return LoadReport(
+            scenario=scenario, mode="open", requests=submitted,
+            duration_seconds=duration,
+            qps=len(good) / duration if duration > 0 else float("inf"),
+            offered_qps=offered,
+            latency_p50=float(p50), latency_p95=float(p95),
+            latency_p99=float(p99),
+            latency_mean=float(lat.mean()) if len(lat) else float("nan"),
+            latency_max=float(lat.max()) if len(lat) else float("nan"),
+            queue_wait_mean=float(waits.mean()) if len(waits) else float("nan"),
+            mean_batch_size=float(sizes.mean()) if len(sizes) else 0.0,
+            batches=batches,
+            deadline_misses=sum(
+                r.forecast.deadline_missed for r in computed),
+            utilization=busy / duration if duration > 0 else 0.0,
+            seed=self.seed,
+            goodput_qps=len(good) / duration if duration > 0 else 0.0,
+            shed_rate=len(shed) / submitted if submitted else 0.0,
+            per_tenant=per_tenant)

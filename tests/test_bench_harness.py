@@ -150,8 +150,17 @@ class TestCommittedSnapshots:
         root = Path(__file__).resolve().parents[1]
         found = sorted(root.glob("BENCH_*.json"))
         assert found, "expected at least one committed BENCH_<n>.json"
+        from benchmarks.fault_bench import validate_faults
+        from benchmarks.gateway_bench import validate_gateway
+        from benchmarks.serve_bench import validate_serving
         for path in found:
             data = json.loads(path.read_text())
             validate_snapshot(data)
             if "distributed" in data:
                 validate_distributed(data["distributed"])
+            if "serving" in data:
+                validate_serving(data["serving"])
+            if "faults" in data:
+                validate_faults(data["faults"])
+            if "gateway" in data:
+                validate_gateway(data["gateway"])

@@ -26,6 +26,7 @@ EXAMPLE_ARGS = {
     "online_serving": dict(scale="tiny", epochs=1, requests=40, shards=2),
     "fault_tolerance": dict(scale="tiny", epochs=1, world=2, crash_step=2,
                             requests=30),
+    "gateway": dict(scale="tiny", epochs=1, requests=60),
 }
 
 TIMEOUT_SECONDS = 120

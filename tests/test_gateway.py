@@ -1,0 +1,515 @@
+"""Tests for the multi-tenant serving gateway (``repro.serving.gateway``).
+
+The load-bearing guarantees:
+
+- the gateway is pure plumbing: responses match direct ``ForecastService``
+  answers bitwise, and cache hits are bitwise equal to recomputation;
+- tenants are isolated — keys, quotas, and feature stores never leak
+  across tenants;
+- admission control sheds deterministically under overload and never
+  below capacity;
+- blue-green swaps drain every in-flight request (zero drops).
+"""
+
+import numpy as np
+import pytest
+
+from repro.api import RunSpec, build_gateway, list_servers, run, serve
+from repro.serving import (
+    AuthError,
+    FeatureStore,
+    Gateway,
+    GatewayLoadGenerator,
+    ManualClock,
+    MicroBatchQueue,
+    TenantStream,
+)
+from repro.serving.gateway import (
+    AdmissionController,
+    ResultCache,
+    TenantManager,
+    cache_key,
+    window_fingerprint,
+)
+from repro.utils.errors import ShapeError
+
+SPEC = dict(dataset="pems-bay", model="pgt-dcrnn", batching="index",
+            scale="tiny", seed=0, epochs=1)
+
+
+@pytest.fixture(scope="module")
+def trained():
+    return run(RunSpec(**SPEC))
+
+
+@pytest.fixture(scope="module")
+def pool(trained):
+    test = trained.artifacts.loaders.test
+    xb, _ = test.batch_at(np.arange(min(test.num_snapshots, 32)))
+    return xb.copy()
+
+
+def make_gateway(trained, **kw):
+    kw.setdefault("clock", ManualClock())
+    kw.setdefault("max_batch", 8)
+    kw.setdefault("max_wait", 0.002)
+    kw.setdefault("service_time", lambda n: 4e-4 + 2e-4 * n)
+    kw.setdefault("tenants", ["ops", "research"])
+    return build_gateway({"bay": trained}, **kw)
+
+
+# ---------------------------------------------------------------------------
+# Result cache
+# ---------------------------------------------------------------------------
+class TestResultCache:
+    def test_fingerprint_sensitive_to_content_shape_dtype(self):
+        w = np.arange(24, dtype=np.float64).reshape(4, 3, 2)
+        assert window_fingerprint(w) == window_fingerprint(w.copy())
+        assert window_fingerprint(w) != window_fingerprint(w + 1e-12)
+        assert window_fingerprint(w) != window_fingerprint(
+            w.reshape(4, 6, 1))
+        assert window_fingerprint(w) != window_fingerprint(
+            w.astype(np.float32))
+
+    def test_key_includes_deployment_version_sensors(self):
+        w = np.ones((2, 2, 2))
+        assert cache_key("a", "v1", w) != cache_key("b", "v1", w)
+        assert cache_key("a", "v1", w) != cache_key("a", "v2", w)
+        assert cache_key("a", "v1", w) != cache_key("a", "v1", w,
+                                                    sensors=(0, 1))
+
+    def test_hit_is_bitwise_and_a_copy(self):
+        clock = ManualClock()
+        cache = ResultCache(ttl=10.0, clock=clock)
+        key = cache_key("d", "v1", np.ones((2, 2, 2)))
+        value = np.random.default_rng(0).normal(size=(4, 8))
+        cache.put(key, value)
+        hit = cache.get(key)
+        np.testing.assert_array_equal(hit, value)
+        hit[0, 0] = 1e9                     # mutating a hit must not poison
+        np.testing.assert_array_equal(cache.get(key), value)
+        assert cache.stats.hits == 2 and cache.stats.misses == 0
+
+    def test_ttl_expiry_on_the_clock(self):
+        clock = ManualClock()
+        cache = ResultCache(ttl=5.0, clock=clock)
+        key = cache_key("d", "v1", np.ones((2, 2, 2)))
+        cache.put(key, np.zeros((4, 8)))
+        clock.advance(4.9)
+        assert cache.get(key) is not None
+        clock.advance(0.2)
+        assert cache.get(key) is None
+        assert cache.stats.expirations == 1
+
+    def test_lru_eviction_at_capacity(self):
+        clock = ManualClock()
+        cache = ResultCache(ttl=100.0, max_entries=2, clock=clock)
+        keys = [cache_key("d", "v1", np.full((1, 1, 1), i))
+                for i in range(3)]
+        cache.put(keys[0], np.zeros(1))
+        cache.put(keys[1], np.zeros(1))
+        assert cache.get(keys[0]) is not None   # 0 is now warmest
+        cache.put(keys[2], np.zeros(1))         # evicts 1, the coldest
+        assert cache.get(keys[1]) is None
+        assert cache.get(keys[0]) is not None
+        assert cache.stats.evictions == 1
+
+    def test_invalidate_by_deployment(self):
+        clock = ManualClock()
+        cache = ResultCache(ttl=100.0, clock=clock)
+        ka = cache_key("a", "v1", np.ones((1, 1, 1)))
+        kb = cache_key("b", "v1", np.ones((1, 1, 1)))
+        cache.put(ka, np.zeros(1))
+        cache.put(kb, np.zeros(1))
+        assert cache.invalidate("a") == 1
+        assert cache.get(ka) is None and cache.get(kb) is not None
+        assert cache.invalidate() == 1          # clear the rest
+
+
+# ---------------------------------------------------------------------------
+# Tenancy
+# ---------------------------------------------------------------------------
+class TestTenancy:
+    def test_auth_and_failure_accounting(self):
+        mgr = TenantManager(ManualClock())
+        tenant = mgr.register("ops")
+        assert mgr.authenticate(tenant.api_key) is tenant
+        with pytest.raises(AuthError):
+            mgr.authenticate("wrong-key")
+        assert mgr.auth_failures == 1
+
+    def test_duplicate_ids_and_keys_rejected(self):
+        mgr = TenantManager(ManualClock())
+        mgr.register("ops", api_key="k1")
+        with pytest.raises(ValueError, match="already registered"):
+            mgr.register("ops", api_key="k2")
+        with pytest.raises(ValueError, match="api key"):
+            mgr.register("other", api_key="k1")
+
+    def test_token_bucket_is_deterministic(self):
+        clock = ManualClock()
+        mgr = TenantManager(clock)
+        tenant = mgr.register("ops", rate_qps=10.0, burst=2)
+        # burst drains, then refills at exactly rate_qps.
+        assert tenant.try_spend_token(clock())
+        assert tenant.try_spend_token(clock())
+        assert not tenant.try_spend_token(clock())
+        clock.advance(0.1)                      # one token back at 10 qps
+        assert tenant.try_spend_token(clock())
+        assert not tenant.try_spend_token(clock())
+
+    def test_unlimited_tenant_never_rejected(self):
+        clock = ManualClock()
+        tenant = TenantManager(clock).register("ops")
+        assert all(tenant.try_spend_token(clock()) for _ in range(1000))
+
+
+# ---------------------------------------------------------------------------
+# Admission control
+# ---------------------------------------------------------------------------
+class TestAdmission:
+    def make(self, **kw):
+        clock = ManualClock()
+        queue = MicroBatchQueue(max_batch=4, max_wait=0.002, clock=clock)
+        return clock, queue, AdmissionController(clock, **kw)
+
+    def test_no_estimate_projects_only_the_wait(self):
+        """Before any dispatch the service-time prior is 0: a request
+        sheds only if its budget cannot even cover the coalescing wait."""
+        clock, queue, adm = self.make()
+        assert adm.estimate("d") == 0.0
+        assert adm.admit(queue, tenant="t", deployment="d",
+                         deadline=clock() + 0.003) is None   # > max_wait
+        decision = adm.admit(queue, tenant="t", deployment="d",
+                             deadline=clock() + 1e-9)        # < max_wait
+        assert decision is not None and decision.reason == "deadline"
+
+    def test_projection_math(self):
+        clock, queue, adm = self.make()
+        adm.seed_estimate("d", 0.010)
+        # Empty queue: coalescing wait (max_wait) + one batch.
+        assert adm.projected_latency(queue, "d") == pytest.approx(0.012)
+        for _ in range(3):
+            queue.submit(np.zeros(1))
+        # Depth 3, our request fills the batch of 4: no wait, one batch.
+        assert adm.projected_latency(queue, "d") == pytest.approx(0.010)
+        queue.submit(np.zeros(1))
+        # Depth 4: a full batch fires now, ours rides the next one.
+        assert adm.projected_latency(queue, "d") == pytest.approx(0.020)
+
+    def test_deadline_shed_recorded(self):
+        clock, queue, adm = self.make()
+        adm.seed_estimate("d", 0.010)
+        decision = adm.admit(queue, tenant="ops", deployment="d",
+                             deadline=clock() + 0.005)
+        assert decision is not None and decision.reason == "deadline"
+        assert adm.admit(queue, tenant="ops", deployment="d",
+                         deadline=clock() + 0.5) is None
+        assert adm.shed_by_tenant() == {"ops": 1}
+        assert adm.shed_by_reason() == {"deadline": 1}
+
+    def test_capacity_shed_ignores_deadline(self):
+        clock, queue, adm = self.make(max_queue_depth=2)
+        queue.submit(np.zeros(1))
+        queue.submit(np.zeros(1))
+        decision = adm.admit(queue, tenant="t", deployment="d",
+                             deadline=None)
+        assert decision is not None and decision.reason == "capacity"
+
+    def test_ewma_observation(self):
+        _, _, adm = self.make(ewma_alpha=0.5)
+        adm.observe("d", 0.010)
+        adm.observe("d", 0.020)
+        assert adm.estimate("d") == pytest.approx(0.015)
+
+
+# ---------------------------------------------------------------------------
+# Deployments
+# ---------------------------------------------------------------------------
+class TestDeployments:
+    def test_cold_deployment_builds_lazily(self, trained):
+        gw = make_gateway(trained)
+        calls = []
+        session = gw.deployments.get("bay").session
+
+        def factory():
+            calls.append(1)
+            return session
+
+        dep = gw.add_deployment("lazy", factory, state="cold")
+        assert not calls and dep.state == "cold"
+        dep.warm()
+        assert calls == [1] and dep.state == "warm"
+
+    def test_cold_requires_rebuildable_source(self, trained):
+        gw = make_gateway(trained)
+        session = gw.deployments.get("bay").session
+        with pytest.raises(ValueError, match="cold"):
+            gw.add_deployment("bad", session, state="cold")
+
+    def test_cool_refuses_pending_work(self, trained, pool):
+        gw = make_gateway(trained)
+        session = gw.deployments.get("bay").session
+        dep = gw.add_deployment("d2", lambda: session)
+        gw.submit("key-ops", "d2", pool[0])
+        with pytest.raises(RuntimeError, match="in-flight"):
+            dep.cool()
+        gw.flush()
+        dep.cool()
+        assert dep.state == "cold"
+
+    def test_swap_requires_new_version(self, trained):
+        gw = make_gateway(trained)
+        session = gw.deployments.get("bay").session
+        with pytest.raises(ValueError, match="version"):
+            gw.swap("bay", lambda: session, version="v1")
+
+    def test_swap_rejects_shape_mismatch(self, trained):
+        gw = make_gateway(trained)
+        session = gw.deployments.get("bay").session
+
+        class Mismatched:
+            predict = staticmethod(lambda x: x)
+            max_batch = session.max_batch
+            horizon = session.horizon + 1
+            num_nodes = session.num_nodes
+            in_features = session.in_features
+
+        with pytest.raises(ShapeError):
+            gw.swap("bay", Mismatched(), version="v2")
+
+    def test_duplicate_deployment_rejected(self, trained):
+        gw = make_gateway(trained)
+        with pytest.raises(ValueError, match="already registered"):
+            gw.add_deployment("bay", lambda: None)
+
+
+# ---------------------------------------------------------------------------
+# The gateway itself
+# ---------------------------------------------------------------------------
+class TestGateway:
+    def test_matches_direct_service_bitwise(self, trained, pool):
+        """Acceptance: the gateway is pure plumbing over ForecastService."""
+        gw = make_gateway(trained)
+        direct = serve(trained, max_batch=8, max_wait=0.002)
+        resp = gw.request("key-ops", "bay", pool[0])
+        np.testing.assert_array_equal(resp.forecast.predictions,
+                                      direct.forecast(pool[0]).predictions)
+
+    def test_requires_valid_api_key(self, trained, pool):
+        gw = make_gateway(trained)
+        with pytest.raises(AuthError):
+            gw.request("not-a-key", "bay", pool[0])
+
+    def test_quota_rejection_status(self, trained, pool):
+        gw = make_gateway(trained, tenants=[
+            {"tenant_id": "ops", "rate_qps": 1.0, "burst": 1}])
+        first = gw.request("key-ops", "bay", pool[0])
+        second = gw.submit("key-ops", "bay", pool[0])
+        assert first.ok and second.status == "rejected_quota"
+        assert gw.stats.quota_rejected == 1
+
+    def test_cache_hit_bitwise_and_cross_tenant(self, trained, pool):
+        gw = make_gateway(trained, cache_ttl=60.0)
+        first = gw.request("key-ops", "bay", pool[0])
+        second = gw.request("key-ops", "bay", pool[0])
+        cross = gw.request("key-research", "bay", pool[0])
+        assert not first.cached and second.cached and cross.cached
+        assert second.latency == 0.0
+        np.testing.assert_array_equal(first.forecast.predictions,
+                                      second.forecast.predictions)
+        np.testing.assert_array_equal(first.forecast.predictions,
+                                      cross.forecast.predictions)
+
+    def test_tenant_stores_are_isolated(self, trained):
+        gw = make_gateway(trained)
+        ds = trained.artifacts.dataset
+        for t in range(16):
+            gw.ingest("key-ops", "bay", ds.signals[t], timestamp_minutes=5.0 * t)
+        # research streamed nothing: its store must not exist, and a
+        # windowless request must fail rather than read ops' data.
+        ops_store = gw.tenants.get("ops").stores["bay"]
+        assert "bay" not in gw.tenants.get("research").stores
+        assert isinstance(ops_store, FeatureStore)
+        with pytest.raises(RuntimeError, match="streamed nothing"):
+            gw.request("key-research", "bay")
+        assert gw.request("key-ops", "bay").ok
+
+    def test_sheds_on_hopeless_deadline(self, trained, pool):
+        gw = make_gateway(trained)
+        resp = gw.submit("key-ops", "bay", pool[0],
+                         deadline=gw.clock() + 1e-6)
+        assert resp.status == "shed" and resp.reason == "deadline"
+        assert gw.stats.shed == 1
+        assert gw.tenants.get("ops").stats.shed == 1
+
+    def test_swap_drains_in_flight_and_invalidates_cache(self, trained, pool):
+        gw = make_gateway(trained, cache_ttl=60.0)
+        session = gw.deployments.get("bay").session
+        admitted = [gw.submit("key-ops", "bay", pool[i]) for i in range(5)]
+        assert all(r.status == "admitted" for r in admitted)
+        record = gw.swap("bay", lambda: session, version="v2")
+        assert record.drained == 5 and record.dropped == 0
+        done = gw.poll()
+        assert {r.request_id for r in done} == \
+            {r.request_id for r in admitted}
+        assert all(r.status == "ok" for r in done)
+        # v1 cache entries are gone; the same window recomputes under v2.
+        resp = gw.request("key-ops", "bay", pool[0])
+        assert not resp.cached and resp.version == "v2"
+
+    def test_handle_concurrent_on_manual_clock(self, trained, pool):
+        gw = make_gateway(trained)
+        responses = gw.handle_concurrent(
+            [dict(api_key="key-ops", deployment="bay", window=pool[i])
+             for i in range(6)])
+        assert len(responses) == 6 and all(r.ok for r in responses)
+        assert all(r.forecast.batch_size >= 1 for r in responses)
+
+    def test_describe_covers_every_surface(self, trained, pool):
+        gw = make_gateway(trained, cache_ttl=60.0)
+        gw.request("key-ops", "bay", pool[0])
+        d = gw.describe()
+        assert d["stats"]["completed"] == 1
+        assert "bay" in d["deployments"]
+        assert set(d["tenants"]) == {"ops", "research"}
+        assert d["cache"]["misses"] == 1
+
+
+class TestGatewayAPI:
+    def test_gateway_registered_as_server(self):
+        assert "gateway" in list_servers()
+
+    def test_serve_returns_gateway(self, trained, pool):
+        gw = serve(trained, server="gateway", clock=ManualClock(),
+                   max_batch=8)
+        assert isinstance(gw, Gateway)
+        assert gw.deployments.names() == ["default"]
+        resp = gw.request("key-default", "default", pool[0])
+        assert resp.ok
+
+    def test_build_gateway_from_checkpoint_cold(self, trained, pool,
+                                                tmp_path):
+        from repro.training.checkpoint import save_checkpoint
+        path = str(tmp_path / "model.npz")
+        save_checkpoint(path, trained.artifacts.model, epoch=1,
+                        spec=trained.spec,
+                        scaler=trained.artifacts.loaders.scaler)
+        gw = build_gateway({"bay": path}, clock=ManualClock(),
+                           states={"bay": "cold"}, versions={"bay": "v7"})
+        dep = gw.deployments.get("bay")
+        assert dep.state == "cold" and dep.version == "v7"
+        resp = gw.request("key-default", "bay", pool[0])   # warms lazily
+        assert resp.ok and dep.state == "warm"
+
+    def test_build_gateway_needs_sources(self):
+        with pytest.raises(ValueError, match="at least one"):
+            build_gateway({})
+
+    def test_tenant_spec_forms(self, trained):
+        gw = build_gateway(
+            {"bay": trained}, clock=ManualClock(),
+            tenants=["a", {"tenant_id": "b", "api_key": "secret-b"}])
+        assert gw.tenants.authenticate("key-a").tenant_id == "a"
+        assert gw.tenants.authenticate("secret-b").tenant_id == "b"
+        with pytest.raises(ValueError, match="tenant_id"):
+            build_gateway({"bay": trained}, clock=ManualClock(),
+                          tenants=[{"api_key": "x"}])
+
+
+# ---------------------------------------------------------------------------
+# Per-tenant load generation
+# ---------------------------------------------------------------------------
+class TestGatewayLoadGenerator:
+    STREAMS = [
+        dict(api_key="key-ops", deployment="bay", rate_qps=700.0,
+             requests=140, deadline=0.05),
+        dict(api_key="key-research", deployment="bay", rate_qps=300.0,
+             requests=60, deadline=0.05),
+    ]
+
+    def test_deterministic(self, trained, pool):
+        """Acceptance: fixed seed + synthetic service time => identical
+        multi-tenant reports, shed decisions included."""
+        reports = []
+        for _ in range(2):
+            gen = GatewayLoadGenerator(make_gateway(trained), pool, seed=7)
+            reports.append(gen.open_loop(
+                [TenantStream(**s) for s in self.STREAMS]))
+        assert reports[0].to_dict() == reports[1].to_dict()
+
+    def test_baseline_under_capacity_never_sheds(self, trained, pool):
+        gen = GatewayLoadGenerator(make_gateway(trained), pool, seed=7)
+        report = gen.open_loop([TenantStream(**s) for s in self.STREAMS])
+        assert report.requests == 200
+        assert report.shed_rate == 0.0 and report.deadline_misses == 0
+        assert report.goodput_qps == report.qps > 0
+        assert set(report.per_tenant) == {"ops", "research"}
+        assert report.per_tenant["ops"]["completed"] == 140
+
+    def test_overload_sheds_boundedly(self, trained, pool):
+        gw = make_gateway(trained)
+        gen = GatewayLoadGenerator(gw, pool, seed=7)
+        report = gen.open_loop([
+            TenantStream(api_key="key-ops", deployment="bay",
+                         rate_qps=10000.0, requests=600, deadline=0.025)])
+        assert 0.0 < report.shed_rate < 0.8
+        assert report.deadline_misses == 0     # admitted requests all make it
+        assert report.goodput_qps > 2000.0
+        assert gw.admission.shed_by_reason() == \
+            {"deadline": round(report.shed_rate * 600)}
+
+    def test_summary_mentions_goodput_and_shed(self, trained, pool):
+        gen = GatewayLoadGenerator(make_gateway(trained), pool, seed=0)
+        report = gen.open_loop([TenantStream(
+            api_key="key-ops", deployment="bay", rate_qps=500.0,
+            requests=40, deadline=0.05)])
+        assert "goodput" in report.summary() and "shed" in report.summary()
+
+    def test_requires_manual_clock(self, trained, pool):
+        import time
+        gw = make_gateway(trained, clock=time.perf_counter)
+        with pytest.raises(TypeError, match="ManualClock"):
+            GatewayLoadGenerator(gw, pool)
+
+    def test_stream_validation(self):
+        with pytest.raises(ValueError, match="rate_qps"):
+            TenantStream(api_key="k", deployment="d", rate_qps=0.0,
+                         requests=1)
+        with pytest.raises(ValueError, match="arrival"):
+            TenantStream(api_key="k", deployment="d", rate_qps=1.0,
+                         requests=1, arrival="bursty")
+
+
+# ---------------------------------------------------------------------------
+# Bench harness
+# ---------------------------------------------------------------------------
+class TestGatewayBenchHarness:
+    def test_quick_suite_writes_valid_green_section(self, tmp_path):
+        import json
+
+        from benchmarks.gateway_bench import (
+            check_regression, collect_gateway, diff_gateway,
+            merge_into_snapshot, validate_gateway)
+        section = collect_gateway(quick=True)
+        validate_gateway(section)
+        assert check_regression(section) == []
+        target = tmp_path / "BENCH_T.json"
+        merge_into_snapshot(section, target)
+        merged = json.loads(target.read_text())
+        assert merged["gateway"]["scenarios"].keys() == \
+            section["scenarios"].keys()
+        d = diff_gateway(merged, merged)
+        assert d["overload_shed_rate"]["old"] == \
+            d["overload_shed_rate"]["new"]
+
+    def test_diff_tolerates_pre_gateway_snapshot(self, tmp_path):
+        import json
+
+        from benchmarks.gateway_bench import diff_gateway
+        new = json.loads(
+            (__import__("pathlib").Path(__file__).resolve().parents[1]
+             / "BENCH_6.json").read_text())
+        d = diff_gateway({"schema": "whatever"}, new)
+        assert d["baseline_goodput_qps"]["old"] is None
+        assert d["baseline_goodput_qps"]["new"] > 0

@@ -358,6 +358,51 @@ class TestMicroBatchQueue:
         assert not ok.deadline_missed and late.deadline_missed
         assert svc.stats.deadline_misses == 1
 
+    def test_zero_max_wait_is_batch_of_one(self):
+        """max_wait=0: every submit is immediately dispatchable — the
+        no-coalescing limit of the batching/latency trade-off."""
+        clock = ManualClock()
+        q = MicroBatchQueue(max_batch=8, max_wait=0.0, clock=clock)
+        q.submit(np.zeros(1))
+        assert q.ready() and q.time_until_ready() == 0.0
+        assert q.next_batch()[0].batch_size == 1
+        assert q.time_until_ready() is None
+
+    def test_deadline_expired_at_submit_still_queues(self):
+        """A request whose deadline already passed is queued and served
+        (and counted as a miss at completion), never silently dropped."""
+        clock = ManualClock(start=10.0)
+        q = MicroBatchQueue(max_batch=2, max_wait=1.0, clock=clock)
+        req = q.submit(np.zeros(1), deadline=5.0)
+        assert len(q) == 1
+        q.submit(np.zeros(1))
+        batch = q.next_batch()
+        assert batch[0] is req
+        req.completed = clock()
+        assert req.deadline_missed
+
+    def test_forced_flush_of_partial_batch(self):
+        clock = ManualClock()
+        q = MicroBatchQueue(max_batch=8, max_wait=1.0, clock=clock)
+        for _ in range(3):
+            q.submit(np.zeros(1))
+        assert not q.ready() and q.next_batch() == []
+        batch = q.next_batch(force=True)
+        assert [r.batch_size for r in batch] == [3, 3, 3]
+        assert len(q) == 0
+
+    def test_service_stats_count_expired_at_submit(self, trained, pool):
+        """ServiceStats.deadline_misses includes requests that were
+        already hopeless when submitted."""
+        svc = serve(trained, max_batch=4, max_wait=0.002,
+                    service_time=lambda n: 0.001)
+        svc.submit(pool[0], deadline=svc.clock() - 1.0)   # born expired
+        svc.submit(pool[0], deadline=svc.clock() + 10.0)
+        done = svc.flush()
+        assert [fc.deadline_missed for fc in done] == [True, False]
+        assert svc.stats.deadline_misses == 1
+        assert svc.stats.requests == 2
+
 
 class TestServeAPI:
     def test_registry_lists_servers(self):
