@@ -33,6 +33,20 @@ timing thresholds:
   original computation *and* to an uncached recomputation.
 - ``bluegreen_swap`` — a mid-traffic checkpoint swap must drain every
   in-flight request (zero drops) and answer everything submitted.
+
+Schema ``v2`` adds the self-healing scenarios (``--chaos-only`` runs
+just these two):
+
+- ``chaos_selfheal`` — a ``session_crash`` plus a 4x ``session_straggler``
+  injected into the primary deployment at **2x** the baseline offered
+  load, with a fallback deployment configured: every admitted request
+  must be answered (``failed == 0``) with **zero** deadline misses,
+  degraded answers must be bitwise equal to their cache/fallback
+  source, and the circuit-transition log must be identical across two
+  runs of the same seed.
+- ``canary_rollback`` — a swap to a broken checkpoint must fail its
+  synthetic canary and auto-roll back with zero dropped requests,
+  after which the blue session serves bitwise-identical answers.
 """
 
 from __future__ import annotations
@@ -44,7 +58,7 @@ from pathlib import Path
 
 import numpy as np
 
-GATEWAY_SCHEMA = "repro-gateway/v1"
+GATEWAY_SCHEMA = "repro-gateway/v2"
 
 #: Fixed request-stream seed — part of the benchmark definition.
 SEED = 0
@@ -63,6 +77,11 @@ OVERLOAD_QPS = 10.0 * BASELINE_QPS
 #: holds near capacity.
 MAX_SHED_RATE = 0.8
 MIN_OVERLOAD_GOODPUT = 2000.0
+
+#: Chaos scenario: crash + straggler at 2x the baseline offered load
+#: (still under the deployment's ~4000 qps capacity, so the self-healing
+#: machinery — not admission control — is what keeps requests answered).
+CHAOS_QPS = 2.0 * BASELINE_QPS
 
 
 def _service_time(n: int) -> float:
@@ -189,15 +208,142 @@ def bench_swap(result, pool) -> dict:
     }
 
 
-def collect_gateway(*, quick: bool = False, label: str = "") -> dict:
-    """Measure the gateway scenario suite; returns the section dict."""
-    spec, result, pool = _train(quick)
-    scenarios = {
-        "baseline_1k": bench_baseline(result, pool, quick=quick),
-        "overload_10k": bench_overload(result, pool, quick=quick),
-        "cache_roundtrip": bench_cache(result, pool),
-        "bluegreen_swap": bench_swap(result, pool),
+# ---------------------------------------------------------------------------
+# Self-healing scenarios (schema v2)
+# ---------------------------------------------------------------------------
+def _make_resilient_gateway(result, *, fault_plan=None, cache_ttl=None):
+    """Primary ``bay`` with fallback ``standby``, both serving the same
+    checkpoint — which is what makes fallback answers bitwise-comparable
+    to the primary's."""
+    from repro.api import build_gateway
+    from repro.serving import ManualClock
+
+    return build_gateway(
+        {"bay": result, "standby": result}, tenants=["ops"],
+        clock=ManualClock(), max_batch=8, max_wait=0.002,
+        service_time=_service_time, cache_ttl=cache_ttl,
+        fallbacks={"bay": "standby"}, fault_plan=fault_plan)
+
+
+def bench_chaos(result, pool, *, quick: bool) -> dict:
+    """Crash + straggler at 2x offered load: the gateway must answer
+    every admitted request, deterministically, with bitwise-faithful
+    degraded answers."""
+    from repro.runtime import FaultPlan
+    from repro.serving import GatewayLoadGenerator, TenantStream
+
+    n = 150 if quick else 600
+    plan = (FaultPlan()
+            .session_crash("bay", at_dispatch=4)
+            .session_straggler("bay", 4.0, start_dispatch=10,
+                               end_dispatch=14))
+
+    def drive():
+        gw = _make_resilient_gateway(result, fault_plan=plan)
+        streams = [TenantStream(api_key="key-ops", deployment="bay",
+                                rate_qps=CHAOS_QPS, requests=n,
+                                deadline=0.1)]
+        report = GatewayLoadGenerator(gw, pool, seed=SEED).open_loop(
+            streams, scenario="chaos_selfheal")
+        return gw, report
+
+    gw, report = drive()
+    gw2, report2 = drive()
+    transitions = gw.resilience.transitions()
+    deterministic = (transitions == gw2.resilience.transitions()
+                     and report.to_dict() == report2.to_dict())
+
+    # Bitwise fidelity of the degradation ladder, both rungs, against a
+    # fault-free gateway answering the same windows.
+    calm = _make_resilient_gateway(result)
+    refs = [calm.request("key-ops", "bay", pool[i]).forecast.predictions
+            for i in range(2)]
+    crash = _make_resilient_gateway(
+        result, fault_plan=FaultPlan().session_crash("bay"))
+    via_fallback = crash.request("key-ops", "bay", pool[0])
+    stale_gw = _make_resilient_gateway(
+        result, cache_ttl=0.01,
+        fault_plan=FaultPlan().session_crash("bay", at_dispatch=1))
+    warm = stale_gw.request("key-ops", "bay", pool[1])
+    stale_gw.clock.advance(0.02)            # expire; entry stays resident
+    via_stale = stale_gw.request("key-ops", "bay", pool[1])
+    bitwise = (via_fallback.status == "degraded"
+               and via_fallback.degraded_source == "fallback:standby"
+               and np.array_equal(via_fallback.forecast.predictions,
+                                  refs[0])
+               and via_stale.status == "degraded"
+               and via_stale.degraded_source == "stale_cache"
+               and np.array_equal(via_stale.forecast.predictions,
+                                  warm.forecast.predictions)
+               and np.array_equal(warm.forecast.predictions, refs[1]))
+
+    d = report.to_dict()
+    d["shed_by_reason"] = gw.admission.shed_by_reason()
+    d["transitions"] = transitions
+    d["transitions_deterministic"] = bool(deterministic)
+    d["degraded_bitwise_equal"] = bool(bitwise)
+    d["restarts"] = int(gw.resilience.restarts)
+    d["all_answered"] = bool(gw.stats.completed == gw.stats.admitted
+                             and not gw._pending)
+    return d
+
+
+def bench_canary(result, pool) -> dict:
+    """A broken green checkpoint must fail its canary and auto-roll
+    back: zero drops, blue serving bitwise-identical answers after."""
+    from repro.serving.resilience import RollbackRecord
+    from repro.utils.errors import SessionFailure
+
+    gw = _make_resilient_gateway(result)
+    before = gw.request("key-ops", "bay", pool[0])
+    blue = gw.deployments.get("bay").session
+
+    class _Broken:
+        def __getattr__(self, name):
+            return getattr(blue, name)
+
+        def predict(self, x):
+            raise SessionFailure("green checkpoint is broken")
+
+    record = gw.swap("bay", lambda: _Broken(), version="v2-broken")
+    rolled = isinstance(record, RollbackRecord)
+    after = gw.request("key-ops", "bay", pool[0])
+    return {
+        "rolled_back": bool(rolled),
+        "reason": record.reason if rolled else "",
+        "probes_run": int(record.probes_run) if rolled else 0,
+        "dropped": int(record.dropped),
+        "restored_version": (record.restored_version if rolled
+                             else record.new_version),
+        "post_swap_bitwise": bool(
+            after.version == before.version
+            and np.array_equal(after.forecast.predictions,
+                               before.forecast.predictions)),
+        "all_answered": bool(gw.stats.failed == 0),
     }
+
+
+def collect_gateway(*, quick: bool = False, label: str = "",
+                    chaos_only: bool = False) -> dict:
+    """Measure the gateway scenario suite; returns the section dict.
+
+    ``chaos_only`` runs just the two self-healing scenarios — the CI
+    chaos job's quick gate — producing a section that is **not** meant
+    to be merged into a snapshot (it fails validation by design).
+    """
+    spec, result, pool = _train(quick)
+    scenarios = {}
+    if not chaos_only:
+        scenarios.update({
+            "baseline_1k": bench_baseline(result, pool, quick=quick),
+            "overload_10k": bench_overload(result, pool, quick=quick),
+            "cache_roundtrip": bench_cache(result, pool),
+            "bluegreen_swap": bench_swap(result, pool),
+        })
+    scenarios.update({
+        "chaos_selfheal": bench_chaos(result, pool, quick=quick),
+        "canary_rollback": bench_canary(result, pool),
+    })
     return {
         "schema": GATEWAY_SCHEMA,
         "label": label,
@@ -207,9 +353,11 @@ def collect_gateway(*, quick: bool = False, label: str = "") -> dict:
                    "service_time": list(SERVICE_TIME),
                    "baseline_qps": BASELINE_QPS,
                    "overload_qps": OVERLOAD_QPS,
+                   "chaos_qps": CHAOS_QPS,
                    "max_shed_rate": MAX_SHED_RATE,
                    "min_overload_goodput": MIN_OVERLOAD_GOODPUT,
-                   "pool_windows": int(len(pool)), "quick": bool(quick)},
+                   "pool_windows": int(len(pool)), "quick": bool(quick),
+                   "chaos_only": bool(chaos_only)},
         "scenarios": scenarios,
     }
 
@@ -217,9 +365,18 @@ def collect_gateway(*, quick: bool = False, label: str = "") -> dict:
 # ---------------------------------------------------------------------------
 # Snapshot plumbing (shared conventions with serve/dist/fault benches)
 # ---------------------------------------------------------------------------
+#: Still-valid historical schemas (committed snapshots predating the
+#: self-healing scenarios keep validating).
+GATEWAY_SCHEMAS = ("repro-gateway/v1", GATEWAY_SCHEMA)
+
+
 def validate_gateway(section: dict) -> None:
-    """Raise ``ValueError`` unless ``section`` is a valid gateway section."""
-    if not isinstance(section, dict) or section.get("schema") != GATEWAY_SCHEMA:
+    """Raise ``ValueError`` unless ``section`` is a valid gateway section.
+
+    Accepts both the current ``v2`` shape and historical ``v1`` sections
+    (which predate ``chaos_selfheal``/``canary_rollback``)."""
+    if (not isinstance(section, dict)
+            or section.get("schema") not in GATEWAY_SCHEMAS):
         raise ValueError(f"not a {GATEWAY_SCHEMA} gateway section")
     for key in ("created", "config", "scenarios"):
         if key not in section:
@@ -236,6 +393,16 @@ def validate_gateway(section: dict) -> None:
     for field in ("dropped", "drained", "all_answered"):
         if field not in scen.get("bluegreen_swap", {}):
             raise ValueError(f"bluegreen_swap missing {field!r}")
+    if section["schema"] == GATEWAY_SCHEMA:        # v2: self-healing
+        for field in ("failed", "deadline_misses", "degraded",
+                      "transitions", "transitions_deterministic",
+                      "degraded_bitwise_equal", "restarts",
+                      "all_answered"):
+            if field not in scen.get("chaos_selfheal", {}):
+                raise ValueError(f"chaos_selfheal missing {field!r}")
+        for field in ("rolled_back", "dropped", "post_swap_bitwise"):
+            if field not in scen.get("canary_rollback", {}):
+                raise ValueError(f"canary_rollback missing {field!r}")
 
 
 def merge_into_snapshot(section: dict, path: str | Path) -> Path:
@@ -302,61 +469,128 @@ def check_regression(section: dict) -> list[str]:
                         f"in-flight requests")
     if not swap["all_answered"]:
         failures.append("requests around the swap went unanswered")
+    failures.extend(check_chaos_regression(section["scenarios"]))
+    return failures
+
+
+def check_chaos_regression(scen: dict) -> list[str]:
+    """Exact gates for the two self-healing scenarios (empty = green)."""
+    failures = []
+    chaos = scen["chaos_selfheal"]
+    if chaos["failed"] != 0:
+        failures.append(f"chaos run exhausted the degradation ladder on "
+                        f"{chaos['failed']} requests (must answer every "
+                        f"admitted request)")
+    if chaos["deadline_misses"] != 0:
+        failures.append(f"chaos run missed {chaos['deadline_misses']} "
+                        f"deadlines on admitted requests")
+    if not chaos["all_answered"]:
+        failures.append("chaos run left admitted requests unanswered")
+    if chaos["degraded"] < 1:
+        failures.append("chaos never degraded a request; the fault plan "
+                        "did not bite")
+    if chaos["restarts"] < 1:
+        failures.append("chaos probe never restarted the crashed session")
+    if not chaos["transitions_deterministic"]:
+        failures.append("circuit transitions differed across two runs of "
+                        "the same seed")
+    if not chaos["degraded_bitwise_equal"]:
+        failures.append("degraded answer differed from its cache/fallback "
+                        "source (must be bitwise equal)")
+    canary = scen["canary_rollback"]
+    if not canary["rolled_back"]:
+        failures.append("broken green checkpoint passed its canary")
+    if canary["dropped"] != 0:
+        failures.append(f"canary rollback dropped {canary['dropped']} "
+                        f"in-flight requests")
+    if not canary["post_swap_bitwise"]:
+        failures.append("blue did not serve bitwise-identical answers "
+                        "after the rollback")
+    if not canary["all_answered"]:
+        failures.append("requests around the rollback went unanswered")
     return failures
 
 
 def diff_gateway(old: dict, new: dict) -> dict:
     """Headline-metric comparison between two snapshots.
 
-    The *new* snapshot must carry a gateway section; the old one may
-    predate the subsystem (e.g. ``BENCH_5.json``), in which case its
-    values are reported as ``None`` instead of failing the diff.
+    The *new* snapshot must carry a gateway section; either side may
+    predate the subsystem (e.g. ``BENCH_5.json``) or carry the v1
+    schema (``BENCH_6.json``, before the self-healing scenarios), in
+    which case the missing values are reported as ``None`` instead of
+    failing the diff.
     """
     if "gateway" not in new:
         raise ValueError("new snapshot has no gateway section")
     validate_gateway(new["gateway"])
     o = None
     if "gateway" in old:
-        validate_gateway(old["gateway"])
-        o = old["gateway"]["scenarios"]
+        o = old["gateway"].get("scenarios")
     n = new["gateway"]["scenarios"]
 
+    def grab(scen, scenario: str, field: str):
+        if scen is None or field not in scen.get(scenario, {}):
+            return None
+        return scen[scenario][field]
+
     def pick(scenario: str, field: str) -> dict:
-        return {"old": o[scenario][field] if o is not None else None,
-                "new": n[scenario][field]}
+        return {"old": grab(o, scenario, field),
+                "new": grab(n, scenario, field)}
 
     return {
         "baseline_goodput_qps": pick("baseline_1k", "goodput_qps"),
         "overload_goodput_qps": pick("overload_10k", "goodput_qps"),
         "overload_shed_rate": pick("overload_10k", "shed_rate"),
         "cache_hit_rate": pick("cache_roundtrip", "hit_rate"),
+        "chaos_goodput_qps": pick("chaos_selfheal", "goodput_qps"),
+        "chaos_degraded": pick("chaos_selfheal", "degraded"),
     }
 
 
 def _format_section(section: dict) -> str:
     scen = section["scenarios"]
-    base, over = scen["baseline_1k"], scen["overload_10k"]
-    cache, swap = scen["cache_roundtrip"], scen["bluegreen_swap"]
-    return "\n".join([
-        f"gateway suite ({'quick' if section['config']['quick'] else 'full'})",
-        f"  baseline_1k: {base['requests']} reqs offered "
-        f"{base['offered_qps']:.0f} qps -> goodput "
-        f"{base['goodput_qps']:.0f} qps, shed {base['shed_rate']:.1%}, "
-        f"p99 {base['latency_p99'] * 1e3:.2f} ms, "
-        f"misses {base['deadline_misses']}",
-        f"  overload_10k: {over['requests']} reqs offered "
-        f"{over['offered_qps']:.0f} qps -> goodput "
-        f"{over['goodput_qps']:.0f} qps, shed {over['shed_rate']:.1%}, "
-        f"p99 {over['latency_p99'] * 1e3:.2f} ms, "
-        f"misses {over['deadline_misses']}",
-        f"  cache_roundtrip: {cache['hits']} hit(s), hit rate "
-        f"{cache['hit_rate']:.0%}, bitwise "
-        f"{'OK' if cache['bitwise_equal'] else 'BROKEN'}",
-        f"  bluegreen_swap: {swap['in_flight_at_swap']} in flight -> "
-        f"{swap['drained']} drained, {swap['dropped']} dropped, "
-        f"{swap['old_version']} -> {swap['new_version']}, answered "
-        f"{'OK' if swap['all_answered'] else 'BROKEN'}",
-    ])
+    lines = [f"gateway suite "
+             f"({'quick' if section['config']['quick'] else 'full'}"
+             f"{', chaos only' if section['config'].get('chaos_only') else ''})"]
+    if "baseline_1k" in scen:
+        base, over = scen["baseline_1k"], scen["overload_10k"]
+        cache, swap = scen["cache_roundtrip"], scen["bluegreen_swap"]
+        lines += [
+            f"  baseline_1k: {base['requests']} reqs offered "
+            f"{base['offered_qps']:.0f} qps -> goodput "
+            f"{base['goodput_qps']:.0f} qps, shed {base['shed_rate']:.1%}, "
+            f"p99 {base['latency_p99'] * 1e3:.2f} ms, "
+            f"misses {base['deadline_misses']}",
+            f"  overload_10k: {over['requests']} reqs offered "
+            f"{over['offered_qps']:.0f} qps -> goodput "
+            f"{over['goodput_qps']:.0f} qps, shed {over['shed_rate']:.1%}, "
+            f"p99 {over['latency_p99'] * 1e3:.2f} ms, "
+            f"misses {over['deadline_misses']}",
+            f"  cache_roundtrip: {cache['hits']} hit(s), hit rate "
+            f"{cache['hit_rate']:.0%}, bitwise "
+            f"{'OK' if cache['bitwise_equal'] else 'BROKEN'}",
+            f"  bluegreen_swap: {swap['in_flight_at_swap']} in flight -> "
+            f"{swap['drained']} drained, {swap['dropped']} dropped, "
+            f"{swap['old_version']} -> {swap['new_version']}, answered "
+            f"{'OK' if swap['all_answered'] else 'BROKEN'}",
+        ]
+    chaos, canary = scen["chaos_selfheal"], scen["canary_rollback"]
+    lines += [
+        f"  chaos_selfheal: {chaos['requests']} reqs offered "
+        f"{chaos['offered_qps']:.0f} qps -> goodput "
+        f"{chaos['goodput_qps']:.0f} qps, degraded {chaos['degraded']}, "
+        f"failed {chaos['failed']}, misses {chaos['deadline_misses']}, "
+        f"{len(chaos['transitions'])} circuit transition(s) "
+        f"({'deterministic' if chaos['transitions_deterministic'] else 'NON-DETERMINISTIC'}), "
+        f"restarts {chaos['restarts']}, degraded bitwise "
+        f"{'OK' if chaos['degraded_bitwise_equal'] else 'BROKEN'}",
+        f"  canary_rollback: "
+        f"{'rolled back' if canary['rolled_back'] else 'NOT ROLLED BACK'} "
+        f"({canary['reason'] or 'n/a'}) after {canary['probes_run']} "
+        f"probe(s), {canary['dropped']} dropped, blue bitwise "
+        f"{'OK' if canary['post_swap_bitwise'] else 'BROKEN'}",
+    ]
+    return "\n".join(lines)
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -372,9 +606,13 @@ def main(argv: list[str] | None = None) -> int:
                         help="free-form note recorded in the section")
     parser.add_argument("--diff", nargs=2, metavar=("OLD", "NEW"),
                         help="compare two snapshots' gateway sections")
+    parser.add_argument("--chaos-only", action="store_true",
+                        help="run only the self-healing scenarios "
+                             "(chaos_selfheal + canary_rollback); no "
+                             "snapshot merge")
     parser.add_argument("--fail-on-regression", action="store_true",
-                        help="exit 1 unless shedding, caching and swap "
-                             "guarantees hold")
+                        help="exit 1 unless shedding, caching, swap and "
+                             "self-healing guarantees hold")
     args = parser.parse_args(argv)
 
     if args.diff:
@@ -382,11 +620,23 @@ def main(argv: list[str] | None = None) -> int:
         new = json.loads(Path(args.diff[1]).read_text())
         for name, d in diff_gateway(old, new).items():
             was = "(absent)" if d["old"] is None else f"{d['old']:.2f}"
-            print(f"  {name}: {was} -> {d['new']:.2f}")
+            now = "(absent)" if d["new"] is None else f"{d['new']:.2f}"
+            print(f"  {name}: {was} -> {now}")
         return 0
 
-    section = collect_gateway(quick=args.quick, label=args.label)
+    section = collect_gateway(quick=args.quick, label=args.label,
+                              chaos_only=args.chaos_only)
     print(_format_section(section))
+    if args.chaos_only:
+        failures = check_chaos_regression(section["scenarios"])
+        for f in failures:
+            print(f"REGRESSION: {f}")
+        if failures:
+            return 1
+        print("self-healing gate green (every admitted request answered, "
+              "deterministic transitions, bitwise degradation, zero-drop "
+              "rollback)")
+        return 0
     target = args.out if args.out is not None else default_target()
     merge_into_snapshot(section, target)
     print(f"merged gateway section into {target}")
@@ -397,7 +647,8 @@ def main(argv: list[str] | None = None) -> int:
         if failures:
             return 1
         print("regression gate green (no shed below capacity, bounded "
-              "overload shed, bitwise cache, zero-drop swap)")
+              "overload shed, bitwise cache, zero-drop swap, self-healing "
+              "chaos + rollback)")
     return 0
 
 

@@ -197,6 +197,7 @@ def _build_gateway_server(model, scaler, dataset, spec, *,
                           ewma_alpha: float = 0.2,
                           default_deadline: float | None = None,
                           store_capacity: int | None = None,
+                          resilience=None, fault_plan=None,
                           **session_kwargs) -> Gateway:
     """Single-deployment gateway: ``serve(src, server="gateway")``.
 
@@ -204,6 +205,8 @@ def _build_gateway_server(model, scaler, dataset, spec, *,
     (named ``deployment``, pinned at ``version``) and a ``default``
     tenant (API key ``key-default``) unless ``tenants`` names others.
     Multi-deployment gateways are built with :func:`build_gateway`.
+    ``resilience`` / ``fault_plan`` configure the self-healing layer —
+    gateway-kind fault events target the deployment by name.
     """
     session = _build_local_session(model, scaler, dataset, spec,
                                    max_batch=max_batch, **session_kwargs)
@@ -212,7 +215,8 @@ def _build_gateway_server(model, scaler, dataset, spec, *,
                  cache_entries=cache_entries,
                  max_queue_depth=max_queue_depth, ewma_alpha=ewma_alpha,
                  default_deadline=default_deadline,
-                 store_capacity=store_capacity)
+                 store_capacity=store_capacity,
+                 resilience=resilience, fault_plan=fault_plan)
     gw.add_deployment(deployment, session, version=version)
     for tenant in _normalise_tenants(tenants):
         gw.add_tenant(**tenant)
@@ -288,6 +292,8 @@ def build_gateway(sources: dict[str, Any], *, tenants=None,
                   store_capacity: int | None = None,
                   versions: dict[str, str] | None = None,
                   states: dict[str, str] | None = None,
+                  fallbacks: dict[str, str] | None = None,
+                  resilience=None, fault_plan=None,
                   **server_kwargs) -> Gateway:
     """Build a multi-tenant :class:`Gateway` over named deployments.
 
@@ -309,25 +315,46 @@ def build_gateway(sources: dict[str, Any], *, tenants=None,
     versions / states:
         optional per-deployment version pins (default ``v1``) and
         ``warm``/``cold`` start states (default ``warm``).
+    fallbacks:
+        optional ``{deployment: fallback_deployment}`` degradation
+        routes — when a deployment's circuit opens, requests that miss
+        the stale cache are served by the named fallback.
+    resilience / fault_plan:
+        a :class:`~repro.serving.resilience.ResiliencePolicy` and a
+        :class:`~repro.runtime.faults.FaultPlan` whose serving events
+        (``session_crash`` / ``session_straggler`` /
+        ``store_corruption``) target deployments by name — the chaos
+        entry point for the gateway, mirroring ``serve(...,
+        server="sharded", fault_plan=...)`` for shard workers.
     remaining keywords:
         gateway knobs, forwarded to :class:`Gateway` (micro-batching,
         result-cache TTL, admission depth, default deadline).
     """
     if not sources:
         raise ValueError("build_gateway needs at least one deployment")
+    for name, target in (fallbacks or {}).items():
+        if name not in sources or target not in sources:
+            raise ValueError(
+                f"fallback route {name!r} -> {target!r} names an unknown "
+                f"deployment; available: {sorted(sources)}")
+        if name == target:
+            raise ValueError(f"deployment {name!r} cannot be its own "
+                             f"fallback")
     gw = Gateway(clock=clock, max_batch=max_batch, max_wait=max_wait,
                  service_time=service_time, cache_ttl=cache_ttl,
                  cache_entries=cache_entries,
                  max_queue_depth=max_queue_depth, ewma_alpha=ewma_alpha,
                  default_deadline=default_deadline,
-                 store_capacity=store_capacity)
+                 store_capacity=store_capacity,
+                 resilience=resilience, fault_plan=fault_plan)
     for name, source in sources.items():
         gw.add_deployment(
             name,
             session_source(source, server=server, max_batch=max_batch,
                            **server_kwargs),
             version=(versions or {}).get(name, "v1"),
-            state=(states or {}).get(name, "warm"))
+            state=(states or {}).get(name, "warm"),
+            fallback=(fallbacks or {}).get(name))
     for tenant in _normalise_tenants(tenants):
         gw.add_tenant(**tenant)
     return gw

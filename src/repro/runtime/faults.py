@@ -20,6 +20,14 @@ fabric's own boundaries:
   arrives — numerics never change, only cost).
 - ``worker_crash(shard, at_request)`` is consumed by the serving layer
   (:class:`~repro.serving.sharding.ShardedSession`), not the transport.
+- ``session_crash``/``session_straggler``/``store_corruption`` target a
+  named gateway *deployment* (``target``) and are consumed by the
+  gateway's resilience layer (:mod:`repro.serving.resilience`): a
+  session crash makes the deployment's dispatches raise
+  :class:`~repro.utils.errors.SessionFailure` until it is restarted, a
+  session straggler stretches its service times, and a store corruption
+  flips bytes in one of its result-cache entries (which the cache's
+  integrity fingerprint must then catch).
 
 Every event fires deterministically, so a chaos run is exactly as
 reproducible as a clean one — which is what lets the chaos tier assert
@@ -34,10 +42,21 @@ from dataclasses import dataclass
 from repro.utils.errors import CommunicatorError
 from repro.utils.seeding import new_rng
 
-#: Event kinds a plan may schedule.  ``worker_crash`` targets the serving
-#: layer; everything else is injected by :class:`FaultyTransport`.
+#: Event kinds a plan may schedule.  ``worker_crash`` and the
+#: ``session_*``/``store_*`` kinds target the serving layer; everything
+#: else is injected by :class:`FaultyTransport`.
 FAULT_KINDS = ("rank_crash", "straggler", "message_delay", "message_drop",
-               "worker_crash")
+               "worker_crash", "session_crash", "session_straggler",
+               "store_corruption")
+
+#: Kinds consumed by serving components rather than the transport.
+SERVING_KINDS = ("worker_crash", "session_crash", "session_straggler",
+                 "store_corruption")
+
+#: Kinds consumed by the gateway resilience layer; ``target`` names the
+#: deployment and ``step``/``until``/``request`` count its *dispatches*
+#: (batches), not training steps.
+GATEWAY_KINDS = ("session_crash", "session_straggler", "store_corruption")
 
 
 class RankFailure(CommunicatorError):
@@ -69,6 +88,12 @@ class FaultEvent:
       ``seconds`` timeout.
     - ``worker_crash``: serving shard ``shard`` dies once
       ``requests_served`` reaches ``request``.
+    - ``session_crash``: gateway deployment ``target``'s session dies at
+      its ``request``-th batch dispatch (and stays dead until restarted).
+    - ``session_straggler``: deployment ``target``'s dispatches in
+      ``[step, until)`` (dispatch ordinals) take ``slowdown``x longer.
+    - ``store_corruption``: the ``request``-th result-cache insertion for
+      deployment ``target`` is corrupted in place after being stored.
     """
 
     kind: str
@@ -80,6 +105,7 @@ class FaultEvent:
     category: str | None = None
     shard: int = 0
     request: int = 0
+    target: str = ""
 
     def __post_init__(self):
         if self.kind not in FAULT_KINDS:
@@ -90,11 +116,19 @@ class FaultEvent:
         if self.until is not None and self.until <= self.step:
             raise ValueError(f"until must exceed step, got "
                              f"[{self.step}, {self.until})")
-        if self.kind == "straggler" and self.slowdown < 1.0:
+        if self.kind in ("straggler", "session_straggler") \
+                and self.slowdown < 1.0:
             raise ValueError(f"straggler slowdown must be >= 1.0, "
                              f"got {self.slowdown}")
         if self.kind in ("message_delay", "message_drop") and self.seconds < 0:
             raise ValueError(f"seconds must be >= 0, got {self.seconds}")
+        if self.kind in GATEWAY_KINDS and not self.target:
+            raise ValueError(f"{self.kind} events need target=<deployment "
+                             f"name>: {self}")
+        if any(c in self.target for c in ",=:"):
+            raise ValueError(f"target may not contain ',', '=' or ':' "
+                             f"(the compact-encoding delimiters), got "
+                             f"{self.target!r}")
 
     # -- step-range helpers ---------------------------------------------
     def active_at(self, step: int) -> bool:
@@ -123,7 +157,7 @@ class FaultEvent:
             name, eq, raw = item.partition("=")
             if not eq or name not in fields or name == "kind":
                 raise ValueError(f"bad fault event field {item!r} in {text!r}")
-            if name == "category":
+            if name in ("category", "target"):
                 kwargs[name] = raw
             elif name == "until":
                 kwargs[name] = None if raw == "None" else int(raw)
@@ -183,6 +217,31 @@ class FaultPlan:
         return self._with(FaultEvent("worker_crash", shard=shard,
                                      request=at_request))
 
+    def session_crash(self, deployment: str, *,
+                      at_dispatch: int = 0) -> "FaultPlan":
+        """Deployment ``deployment``'s session dies at its
+        ``at_dispatch``-th batch (and every later one until restarted)."""
+        return self._with(FaultEvent("session_crash", target=str(deployment),
+                                     request=at_dispatch))
+
+    def session_straggler(self, deployment: str, slowdown: float, *,
+                          start_dispatch: int = 0,
+                          end_dispatch: int | None = None) -> "FaultPlan":
+        """Deployment ``deployment``'s dispatches in ``[start_dispatch,
+        end_dispatch)`` take ``slowdown``x their normal service time."""
+        return self._with(FaultEvent("session_straggler",
+                                     target=str(deployment),
+                                     step=start_dispatch, until=end_dispatch,
+                                     slowdown=slowdown))
+
+    def store_corruption(self, deployment: str, *,
+                         at_insert: int = 0) -> "FaultPlan":
+        """The ``at_insert``-th result-cache entry stored for
+        ``deployment`` is corrupted in place after insertion."""
+        return self._with(FaultEvent("store_corruption",
+                                     target=str(deployment),
+                                     request=at_insert))
+
     @classmethod
     def randomized(cls, seed: int | str, *, world: int, steps: int,
                    crashes: int = 1, stragglers: int = 1,
@@ -210,12 +269,20 @@ class FaultPlan:
     def transport_events(self) -> list[tuple[int, FaultEvent]]:
         """(index, event) pairs the transport layer injects."""
         return [(i, ev) for i, ev in enumerate(self.events)
-                if ev.kind != "worker_crash"]
+                if ev.kind not in SERVING_KINDS]
 
     def serving_events(self) -> list[tuple[int, FaultEvent]]:
-        """(index, event) pairs the serving layer consumes."""
+        """(index, event) pairs the sharded serving layer consumes."""
         return [(i, ev) for i, ev in enumerate(self.events)
                 if ev.kind == "worker_crash"]
+
+    def gateway_events(self, deployment: str | None = None
+                       ) -> list[tuple[int, FaultEvent]]:
+        """(index, event) pairs the gateway resilience layer consumes,
+        optionally filtered to one deployment ``target``."""
+        return [(i, ev) for i, ev in enumerate(self.events)
+                if ev.kind in GATEWAY_KINDS
+                and (deployment is None or ev.target == str(deployment))]
 
     def __len__(self) -> int:
         return len(self.events)

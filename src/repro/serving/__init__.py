@@ -19,6 +19,10 @@ Turns trained checkpoints into a queryable, instrumented service:
   control with load shedding, and a TTL result cache
   (:class:`~repro.serving.gateway.Gateway`, driven per tenant by
   :class:`~repro.serving.loadgen.GatewayLoadGenerator`).
+- :mod:`repro.serving.resilience` — self-healing for the gateway: per-
+  deployment circuit breakers, seeded fault injection, deadline-budgeted
+  retries/hedging, graceful degradation, and canary-gated blue-green
+  rollback.
 
 The declarative entry points live in ``repro.api``:
 ``serve(spec_or_checkpoint) -> ForecastService`` and
@@ -54,11 +58,23 @@ from repro.serving.gateway import (
     Tenant,
     TenantManager,
 )
+from repro.serving.resilience import (
+    CircuitBreaker,
+    CircuitTransition,
+    DeploymentFaultInjector,
+    GatewayResilience,
+    HealthMonitor,
+    ResiliencePolicy,
+    RollbackRecord,
+)
 
 __all__ = [
     "AdmissionController",
     "AuthError",
+    "CircuitBreaker",
+    "CircuitTransition",
     "Deployment",
+    "DeploymentFaultInjector",
     "DeploymentRegistry",
     "FailoverEvent",
     "FeatureStore",
@@ -67,13 +83,17 @@ __all__ = [
     "ForecastService",
     "Gateway",
     "GatewayLoadGenerator",
+    "GatewayResilience",
     "GatewayResponse",
+    "HealthMonitor",
     "LoadGenerator",
     "LoadReport",
     "ManualClock",
     "MicroBatchQueue",
     "ModelSession",
+    "ResiliencePolicy",
     "ResultCache",
+    "RollbackRecord",
     "ServiceStats",
     "ShardWorker",
     "ShardedSession",

@@ -17,6 +17,11 @@ end over all of it:
 - :class:`~repro.serving.gateway.gateway.Gateway` — the app factory tying
   them together on the subsystem's ManualClock/real-clock duality.
 
+Self-healing lives in :mod:`repro.serving.resilience` (circuit breakers,
+deadline-budgeted retries, hedging, graceful degradation, canary-gated
+swaps with auto-rollback) and threads through every request the gateway
+serves.
+
 The declarative entry point is ``repro.api.build_gateway`` (and
 ``serve(..., server="gateway")`` for the single-deployment case).
 """
@@ -46,17 +51,33 @@ from repro.serving.gateway.tenancy import (
     TenantQuota,
     TenantStats,
 )
+from repro.serving.resilience import (
+    CircuitBreaker,
+    CircuitTransition,
+    DeploymentFaultInjector,
+    GatewayResilience,
+    HealthMonitor,
+    ResiliencePolicy,
+    RollbackRecord,
+)
 
 __all__ = [
     "AdmissionController",
     "AuthError",
     "CacheStats",
+    "CircuitBreaker",
+    "CircuitTransition",
     "Deployment",
+    "DeploymentFaultInjector",
     "DeploymentRegistry",
     "Gateway",
+    "GatewayResilience",
     "GatewayResponse",
     "GatewayStats",
+    "HealthMonitor",
+    "ResiliencePolicy",
     "ResultCache",
+    "RollbackRecord",
     "ShedDecision",
     "SwapRecord",
     "TERMINAL_STATUSES",

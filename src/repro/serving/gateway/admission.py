@@ -39,6 +39,7 @@ class ShedDecision:
     queue_depth: int
     projected_latency: float    # seconds the projection promised
     deadline_budget: float      # seconds the request allowed (inf if none)
+    retry: bool = False         # a failed-dispatch retry, not a new arrival
 
 
 class AdmissionController:
@@ -110,12 +111,19 @@ class AdmissionController:
         return wait + (batches_ahead + 1) * est
 
     def admit(self, queue, *, tenant: str, deployment: str,
-              deadline: float | None) -> ShedDecision | None:
+              deadline: float | None,
+              retry: bool = False) -> ShedDecision | None:
         """``None`` to admit, or the recorded :class:`ShedDecision`.
 
         Called with the deployment's queue *before* the request is
         enqueued; ``deadline`` is absolute clock time (``None`` = the
         request never sheds on projection, only on the depth cap).
+
+        Retries of failed dispatches come back through here with
+        ``retry=True`` and their *original* absolute deadline: the
+        remaining budget has shrunk by the failed attempt, so a retry is
+        charged against the same estimate as fresh traffic and overload
+        still sheds honestly.
         """
         now = self.clock()
         depth = len(queue)
@@ -130,7 +138,7 @@ class AdmissionController:
         decision = ShedDecision(
             tenant=str(tenant), deployment=str(deployment), reason=reason,
             at=now, queue_depth=depth, projected_latency=float(projected),
-            deadline_budget=float(budget))
+            deadline_budget=float(budget), retry=bool(retry))
         self.decisions.append(decision)
         return decision
 

@@ -23,8 +23,11 @@ zero-drop invariant).
 from __future__ import annotations
 
 import time
+from collections import deque
 from dataclasses import dataclass
 from typing import Any, Callable
+
+import numpy as np
 
 from repro.serving.cache import FeatureStore
 from repro.serving.service import Forecast, ForecastService
@@ -65,7 +68,8 @@ class Deployment:
     def __init__(self, name: str, source: Any, *, version: str = "v1",
                  state: str = "warm", clock: Callable[[], float],
                  max_batch: int = 8, max_wait: float = 0.005,
-                 service_time: Callable[[int], float] | None = None):
+                 service_time: Callable[[int], float] | None = None,
+                 fallback: str | None = None):
         if state not in ("warm", "cold"):
             raise ValueError(f"state must be 'warm' or 'cold', got {state!r}")
         if state == "cold" and hasattr(source, "predict"):
@@ -84,6 +88,14 @@ class Deployment:
         self.warm_seconds = 0.0     # wall cost of the last activation
         self.activations = 0
         self.swaps: list[SwapRecord] = []
+        # Resilience state: which deployment degrades for this one, the
+        # chaos injector (threaded into every service this deployment
+        # activates), crash-restart count, and a small ring of recently
+        # served windows — canary inputs for post-swap health checks.
+        self.fallback = None if fallback is None else str(fallback)
+        self.fault_injector = None
+        self.restarts = 0
+        self.recent_windows: deque[np.ndarray] = deque(maxlen=8)
         self.service: ForecastService | None = None
         if state == "warm":
             self._activate()
@@ -98,9 +110,47 @@ class Deployment:
             session, max_batch=min(self.max_batch, session.max_batch),
             max_wait=self.max_wait, clock=self.clock,
             service_time=self.service_time)
+        self.service.fault_injector = self.fault_injector
         self.warm_seconds = time.perf_counter() - t0
         self.activations += 1
         self.state = "warm"
+
+    def attach_injector(self, injector: Any) -> None:
+        """Wire a chaos injector into this deployment (and its live
+        service; re-activation re-attaches it automatically)."""
+        self.fault_injector = injector
+        if self.service is not None:
+            self.service.fault_injector = injector
+
+    def restart(self) -> None:
+        """Bring a crashed session back up.
+
+        Crashes are injected (the session object itself is intact), so a
+        restart revives the injector's fail-fast latch and counts the
+        incident; forecasts after recovery stay bitwise-identical to an
+        unfaulted run.  Already-fired one-shot crash events do not
+        refire.
+        """
+        self.restarts += 1
+        if self.fault_injector is not None:
+            self.fault_injector.revive()
+
+    def note_window(self, window: np.ndarray | None) -> None:
+        """Remember a recently served window (canary material)."""
+        if window is not None:
+            self.recent_windows.append(np.ascontiguousarray(window).copy())
+
+    def rollback(self, session: Any, *, version: str, source: Any) -> None:
+        """Restore a previous (blue) session after a failed canary.
+
+        The flip mirrors :meth:`swap`'s pointer assignment; the caller
+        (the gateway) drains green's queue first and records the
+        :class:`~repro.serving.resilience.RollbackRecord`.
+        """
+        self.warm()
+        self.service.session = session
+        self.version = str(version)
+        self.source = source
 
     def warm(self) -> "Deployment":
         """Ensure the session is live (cold deployments build it here)."""
@@ -196,7 +246,9 @@ class Deployment:
                 "state": self.state, "in_flight": self.in_flight,
                 "activations": self.activations,
                 "warm_seconds": self.warm_seconds,
-                "swaps": len(self.swaps)}
+                "swaps": len(self.swaps),
+                "fallback": self.fallback,
+                "restarts": self.restarts}
 
 
 class DeploymentRegistry:
@@ -223,8 +275,8 @@ class DeploymentRegistry:
     def register(self, name: str, source: Any, *, version: str = "v1",
                  state: str = "warm", max_batch: int | None = None,
                  max_wait: float | None = None,
-                 service_time: Callable[[int], float] | None = None
-                 ) -> Deployment:
+                 service_time: Callable[[int], float] | None = None,
+                 fallback: str | None = None) -> Deployment:
         """Add a deployment (per-deployment knobs override the defaults)."""
         name = str(name)
         if name in self._deployments:
@@ -235,7 +287,8 @@ class DeploymentRegistry:
             max_batch=self.max_batch if max_batch is None else max_batch,
             max_wait=self.max_wait if max_wait is None else max_wait,
             service_time=(self.service_time if service_time is None
-                          else service_time))
+                          else service_time),
+            fallback=fallback)
         self._deployments[name] = dep
         return dep
 

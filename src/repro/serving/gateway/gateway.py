@@ -24,12 +24,22 @@ Time keeps the subsystem's clock duality: the gateway runs on a
 schedules under the load generator) or on ``time.perf_counter`` for wall
 operation, where :meth:`handle_concurrent` serves requests through a
 stdlib thread pool.
+
+**Self-healing** (:mod:`repro.serving.resilience`) threads through the
+same path: every deployment carries a circuit breaker, failed dispatches
+are retried within their original deadline budget (charged through
+admission control, so overload still sheds honestly), and a deployment
+whose circuit is open degrades gracefully — stale-but-fingerprint-
+matching cache entry, then a named fallback deployment, then an explicit
+``"failed"`` response.  Blue-green swaps run canary health checks on the
+green session and auto-roll back to blue when they fail, dropping zero
+requests either way.
 """
 
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from threading import RLock
 from typing import Any, Callable
 
@@ -40,11 +50,15 @@ from repro.serving.gateway.deployments import (
     Deployment, DeploymentRegistry, SwapRecord)
 from repro.serving.gateway.result_cache import ResultCache, cache_key
 from repro.serving.gateway.tenancy import Tenant, TenantManager
+from repro.serving.resilience import (
+    CLOSED, GatewayResilience, HALF_OPEN, OPEN, ResiliencePolicy,
+    RollbackRecord)
 from repro.serving.service import Forecast, ManualClock
-from repro.utils.errors import ShapeError
+from repro.utils.errors import SessionFailure, ShapeError
 
 #: Terminal response statuses (everything except "admitted").
-TERMINAL_STATUSES = ("ok", "cached", "shed", "rejected_quota")
+TERMINAL_STATUSES = ("ok", "cached", "shed", "rejected_quota",
+                     "degraded", "failed")
 
 
 @dataclass
@@ -55,8 +69,11 @@ class GatewayResponse:
     forecast arrives at a later :meth:`Gateway.poll`), ``"ok"``
     (completed, ``forecast`` attached), ``"cached"`` (served from the
     result cache, bitwise equal to recomputation), ``"shed"`` (admission
-    control refused — see ``reason``), or ``"rejected_quota"`` (the
-    tenant's token bucket ran dry).
+    control refused — see ``reason``), ``"rejected_quota"`` (the
+    tenant's token bucket ran dry), ``"degraded"`` (answered, but from
+    the degradation ladder — ``degraded_source`` names where: a stale
+    cache entry or a fallback deployment), or ``"failed"`` (the ladder
+    was exhausted; an explicit refusal, never a hang).
     """
 
     status: str
@@ -67,14 +84,17 @@ class GatewayResponse:
     forecast: Forecast | None = None
     cached: bool = False
     reason: str = ""
+    degraded_source: str = ""   # "stale_cache" | "fallback:<name>"
+    hedged: bool = False        # won a hedged re-dispatch race
 
     @property
     def ok(self) -> bool:
-        return self.status in ("ok", "cached")
+        return self.status in ("ok", "cached", "degraded")
 
     @property
     def latency(self) -> float:
-        """Completion latency on the gateway clock (0.0 for cache hits)."""
+        """Completion latency on the gateway clock (0.0 for cache hits
+        and stale-cache degradations, which answer immediately)."""
         if self.status == "cached":
             return 0.0
         if self.forecast is None:
@@ -94,9 +114,36 @@ class GatewayStats:
     shed: int = 0
     quota_rejected: int = 0
     swaps: int = 0
+    degraded: int = 0
+    failed: int = 0
+    rollbacks: int = 0
 
     def to_dict(self) -> dict:
         return dict(self.__dict__)
+
+
+@dataclass
+class _PendingRecord:
+    """Gateway-side bookkeeping for one admitted request.
+
+    ``ticket`` is the (deployment, request_id) identity the caller was
+    handed at admission; retries and fallback re-routes move the request
+    between queues, but its completion always reports the original
+    ticket, so callers match responses without knowing about recovery.
+    """
+
+    tenant_id: str
+    key: tuple | None           # cache key for the queue it is on now
+    window: np.ndarray | None
+    deadline: float | None      # original absolute deadline
+    ticket_deployment: str
+    ticket_version: str
+    ticket_id: int
+    retries: int = 0
+    degraded_source: str = ""   # set once re-routed to a fallback
+    partner: tuple | None = field(default=None)  # hedge twin's queue key
+    canceled: bool = False      # lost a hedge race; discard on completion
+    hedge: bool = False         # this record *is* the hedged duplicate
 
 
 class Gateway:
@@ -121,6 +168,17 @@ class Gateway:
         projection, only on the depth cap).
     store_capacity:
         rows kept in each tenant-private feature store.
+    resilience:
+        self-healing knobs (:class:`~repro.serving.resilience.
+        ResiliencePolicy`); the defaults apply when omitted.  Circuit
+        breakers only act when dispatches actually fail or a seeded
+        latency baseline blows out, so a healthy gateway behaves
+        identically with or without a policy.
+    fault_plan:
+        a :class:`~repro.runtime.faults.FaultPlan` whose gateway events
+        (``session_crash`` / ``session_straggler`` / ``store_corruption``)
+        are injected into the named deployments — chaos that composes
+        deterministically with the request schedule.
     """
 
     def __init__(self, *, clock: Callable[[], float] | None = None,
@@ -129,7 +187,9 @@ class Gateway:
                  cache_ttl: float | None = None, cache_entries: int = 1024,
                  max_queue_depth: int = 256, ewma_alpha: float = 0.2,
                  default_deadline: float | None = None,
-                 store_capacity: int | None = None):
+                 store_capacity: int | None = None,
+                 resilience: ResiliencePolicy | None = None,
+                 fault_plan: Any | None = None):
         self.clock = clock if clock is not None else ManualClock()
         self.deployments = DeploymentRegistry(
             self.clock, max_batch=max_batch, max_wait=max_wait,
@@ -144,8 +204,11 @@ class Gateway:
         self.default_deadline = default_deadline
         self.store_capacity = store_capacity
         self.stats = GatewayStats()
-        #: (deployment, request_id) -> (tenant_id, cache key or None)
-        self._pending: dict[tuple[str, int], tuple[str, tuple | None]] = {}
+        self.resilience = GatewayResilience(
+            resilience if resilience is not None else ResiliencePolicy(),
+            self.clock, fault_plan=fault_plan)
+        #: (queue deployment, queue request_id) -> bookkeeping record
+        self._pending: dict[tuple[str, int], _PendingRecord] = {}
         self._completed: list[GatewayResponse] = []
         self._lock = RLock()
 
@@ -157,11 +220,16 @@ class Gateway:
         """Register a deployment (session, factory, or checkpoint path)."""
         dep = self.deployments.register(name, source, version=version,
                                         state=state, **knobs)
+        baseline = None
         if dep.service_time is not None:
             # A synthetic service-time model makes projections exact from
             # the first request; measured deployments learn by EWMA.
-            self.admission.seed_estimate(dep.name,
-                                         dep.service_time(dep.max_batch))
+            baseline = dep.service_time(dep.max_batch)
+            self.admission.seed_estimate(dep.name, baseline)
+        self.resilience.register(dep.name, baseline=baseline)
+        injector = self.resilience.injector(dep.name)
+        if injector is not None:
+            dep.attach_injector(injector)
         return dep
 
     def add_tenant(self, tenant_id: str, *, api_key: str | None = None,
@@ -236,6 +304,7 @@ class Gateway:
                   else self._check_window(dep, window))
         if deadline is None and self.default_deadline is not None:
             deadline = now + self.default_deadline
+        dep.note_window(window)
 
         key = None
         if self.cache is not None:
@@ -251,21 +320,242 @@ class Gateway:
                 resp.cached, resp.forecast = True, fc
                 return resp
 
+        # Circuit check (fresh cache hits above answer even when open).
+        breaker = self.resilience.breaker(dep.name)
+        state = breaker.before_request(now)
+        probe = False
+        if state == OPEN:
+            return self._degrade_submit(tenant, dep, window, key, deadline,
+                                        reason="circuit_open")
+        if state == HALF_OPEN:
+            probe = breaker.try_probe()
+            if not probe:
+                return self._degrade_submit(tenant, dep, window, key,
+                                            deadline,
+                                            reason="probe_in_flight")
+            # This request *is* the probe: restart a crashed session
+            # first so the probe tests actual recovery.
+            injector = dep.fault_injector
+            if injector is not None and injector.dead:
+                dep.restart()
+                self.resilience.restarts += 1
+
         svc = dep.service
         decision = self.admission.admit(svc.queue, tenant=tenant.tenant_id,
                                         deployment=dep.name,
                                         deadline=deadline)
         if decision is not None:
+            if probe:
+                breaker.cancel_probe()
             tenant.stats.shed += 1
             self.stats.shed += 1
             return refuse("shed", decision.reason)
         rid = svc.submit(window, deadline=deadline)
-        self._pending[(dep.name, rid)] = (tenant.tenant_id, key)
+        rec = _PendingRecord(
+            tenant_id=tenant.tenant_id, key=key, window=window,
+            deadline=deadline, ticket_deployment=dep.name,
+            ticket_version=dep.version, ticket_id=rid)
+        self._pending[(dep.name, rid)] = rec
         tenant.stats.admitted += 1
         self.stats.admitted += 1
+        if not probe:
+            self._maybe_hedge(tenant, dep, rec, window, deadline, now)
         return GatewayResponse(status="admitted", tenant=tenant.tenant_id,
                                deployment=dep.name, version=dep.version,
                                request_id=rid)
+
+    # ------------------------------------------------------------------
+    # The degradation ladder
+    # ------------------------------------------------------------------
+    def _fallback_for(self, dep: Deployment) -> Deployment | None:
+        """The deployment's named fallback, warmed, if it exists, is not
+        the deployment itself, and has a closed circuit."""
+        if dep.fallback is None or dep.fallback == dep.name:
+            return None
+        if dep.fallback not in self.deployments:
+            return None
+        fdep = self.deployments.get(dep.fallback).warm()
+        if self.resilience.breaker(fdep.name).before_request() != CLOSED:
+            return None
+        return fdep
+
+    def _stale_answer(self, key: tuple | None) -> np.ndarray | None:
+        """A stale-but-integrity-verified cache entry, when policy and
+        cache allow it."""
+        if (not self.resilience.policy.serve_stale or self.cache is None
+                or key is None):
+            return None
+        return self.cache.get_stale(key)
+
+    def _degrade_submit(self, tenant: Tenant, dep: Deployment,
+                        window: np.ndarray, key: tuple | None,
+                        deadline: float | None, *,
+                        reason: str) -> GatewayResponse:
+        """Walk the ladder for a request whose deployment is unavailable
+        at submit time: stale cache -> fallback deployment -> failed."""
+        stale = self._stale_answer(key)
+        if stale is not None:
+            tenant.stats.degraded += 1
+            self.stats.degraded += 1
+            self.resilience.degraded_stale += 1
+            fc = Forecast(request_id=-1, predictions=stale, latency=0.0,
+                          queue_wait=0.0, batch_size=0,
+                          deadline_missed=False)
+            return GatewayResponse(
+                status="degraded", tenant=tenant.tenant_id,
+                deployment=dep.name, version=dep.version, forecast=fc,
+                reason=reason, degraded_source="stale_cache")
+        fdep = self._fallback_for(dep)
+        if fdep is not None:
+            fsvc = fdep.service
+            decision = self.admission.admit(
+                fsvc.queue, tenant=tenant.tenant_id, deployment=fdep.name,
+                deadline=deadline)
+            if decision is None:
+                frid = fsvc.submit(window, deadline=deadline)
+                fkey = (cache_key(fdep.name, fdep.version, window)
+                        if self.cache is not None else None)
+                self._pending[(fdep.name, frid)] = _PendingRecord(
+                    tenant_id=tenant.tenant_id, key=fkey, window=window,
+                    deadline=deadline, ticket_deployment=fdep.name,
+                    ticket_version=fdep.version, ticket_id=frid,
+                    degraded_source=f"fallback:{fdep.name}")
+                tenant.stats.admitted += 1
+                self.stats.admitted += 1
+                return GatewayResponse(
+                    status="admitted", tenant=tenant.tenant_id,
+                    deployment=fdep.name, version=fdep.version,
+                    request_id=frid, reason=reason,
+                    degraded_source=f"fallback:{fdep.name}")
+        tenant.stats.failed += 1
+        self.stats.failed += 1
+        self.resilience.failed += 1
+        return GatewayResponse(status="failed", tenant=tenant.tenant_id,
+                               deployment=dep.name, version=dep.version,
+                               reason=reason)
+
+    def _maybe_hedge(self, tenant: Tenant, dep: Deployment,
+                     rec: _PendingRecord, window: np.ndarray,
+                     deadline: float | None, now: float) -> None:
+        """Hedged re-dispatch: when the primary is healthy-but-slow and
+        the deadline budget affords a duplicate, race the fallback.  The
+        probe uses the projection directly (no shed record — a refused
+        hedge is not a refused request)."""
+        policy = self.resilience.policy
+        if not policy.hedge:
+            return
+        if not self.resilience.breaker(dep.name).degraded():
+            return
+        fdep = self._fallback_for(dep)
+        if fdep is None:
+            return
+        fsvc = fdep.service
+        budget = float("inf") if deadline is None else deadline - now
+        if (len(fsvc.queue) >= self.admission.max_queue_depth
+                or self.admission.projected_latency(fsvc.queue, fdep.name)
+                > budget):
+            return
+        frid = fsvc.submit(window, deadline=deadline)
+        fkey = (cache_key(fdep.name, fdep.version, window)
+                if self.cache is not None else None)
+        twin = _PendingRecord(
+            tenant_id=rec.tenant_id, key=fkey, window=window,
+            deadline=deadline, ticket_deployment=rec.ticket_deployment,
+            ticket_version=rec.ticket_version, ticket_id=rec.ticket_id,
+            hedge=True, degraded_source=f"fallback:{fdep.name}",
+            partner=(dep.name, rec.ticket_id))
+        rec.partner = (fdep.name, frid)
+        self._pending[(fdep.name, frid)] = twin
+        self.resilience.hedges += 1
+
+    def _degrade_failed(self, tenant: Tenant, dep: Deployment,
+                        rec: _PendingRecord, *,
+                        reason: str) -> GatewayResponse | None:
+        """The ladder for an admitted request whose dispatch failed and
+        whose retries are exhausted (or blocked by an open circuit).
+        Returns a terminal response, or ``None`` when the request was
+        re-routed to the fallback queue (its completion will arrive
+        marked ``"degraded"`` under the original ticket)."""
+        stale = self._stale_answer(rec.key)
+        if stale is not None:
+            tenant.stats.degraded += 1
+            self.stats.degraded += 1
+            self.resilience.degraded_stale += 1
+            fc = Forecast(request_id=rec.ticket_id, predictions=stale,
+                          latency=0.0, queue_wait=0.0, batch_size=0,
+                          deadline_missed=False)
+            return GatewayResponse(
+                status="degraded", tenant=rec.tenant_id,
+                deployment=rec.ticket_deployment,
+                version=rec.ticket_version, request_id=rec.ticket_id,
+                forecast=fc, reason=reason, degraded_source="stale_cache")
+        fdep = self._fallback_for(dep)
+        if fdep is not None:
+            fsvc = fdep.service
+            decision = self.admission.admit(
+                fsvc.queue, tenant=rec.tenant_id, deployment=fdep.name,
+                deadline=rec.deadline, retry=True)
+            if decision is None:
+                frid = fsvc.submit(rec.window, deadline=rec.deadline)
+                rec.key = (cache_key(fdep.name, fdep.version, rec.window)
+                           if self.cache is not None else None)
+                rec.degraded_source = f"fallback:{fdep.name}"
+                self._pending[(fdep.name, frid)] = rec
+                return None
+        tenant.stats.failed += 1
+        self.stats.failed += 1
+        self.resilience.failed += 1
+        return GatewayResponse(
+            status="failed", tenant=rec.tenant_id,
+            deployment=rec.ticket_deployment, version=rec.ticket_version,
+            request_id=rec.ticket_id, reason=reason)
+
+    def _handle_failures(self, dep: Deployment) -> None:
+        """Resolve dispatches that raised SessionFailure: per failed
+        request, retry within the original deadline budget (charged
+        through admission control), else walk the degradation ladder.
+        Nothing is ever silently dropped."""
+        svc = dep.service
+        if svc is None:
+            return
+        failed = svc.take_failed()
+        if not failed:
+            return
+        breaker = self.resilience.breaker(dep.name)
+        policy = self.resilience.policy
+        for reqs, _exc in failed:
+            breaker.record_failure()
+            for req in reqs:
+                rec = self._pending.pop((dep.name, req.request_id), None)
+                if rec is None:
+                    continue
+                if rec.canceled:
+                    self.resilience.hedges_wasted += 1
+                    continue
+                if rec.partner is not None:
+                    twin = self._pending.get(rec.partner)
+                    if twin is not None and not twin.canceled:
+                        # The hedge twin is still racing; it becomes the
+                        # answer for this ticket.
+                        twin.partner = None
+                        continue
+                tenant = self.tenants.get(rec.tenant_id)
+                if (rec.retries < policy.max_retries
+                        and breaker.before_request() == CLOSED):
+                    decision = self.admission.admit(
+                        svc.queue, tenant=rec.tenant_id,
+                        deployment=dep.name, deadline=rec.deadline,
+                        retry=True)
+                    if decision is None:
+                        nrid = svc.submit(rec.window, deadline=rec.deadline)
+                        rec.retries += 1
+                        self._pending[(dep.name, nrid)] = rec
+                        self.resilience.retries += 1
+                        continue
+                resp = self._degrade_failed(tenant, dep, rec,
+                                            reason="session_failure")
+                if resp is not None:
+                    self._completed.append(resp)
 
     def request(self, api_key: str, deployment: str,
                 window: np.ndarray | None = None, *,
@@ -277,11 +567,30 @@ class Gateway:
         resp = self.submit(api_key, deployment, window, deadline=deadline)
         if resp.status != "admitted":
             return resp
-        dep = self.deployments.get(deployment)
-        self._drain_deployment(dep, force=True)
-        for i, r in enumerate(self._completed):
-            if r.deployment == dep.name and r.request_id == resp.request_id:
-                return self._completed.pop(i)
+        target = (resp.deployment, resp.request_id)
+
+        def find() -> GatewayResponse | None:
+            for i, r in enumerate(self._completed):
+                if (r.deployment, r.request_id) == target:
+                    return self._completed.pop(i)
+            return None
+
+        self._drain_deployment(self.deployments.get(resp.deployment),
+                               force=True)
+        found = find()
+        if found is not None:
+            return found
+        # Recovery may have bounced the request to another queue (retry
+        # or fallback re-route); widen the drain until it lands.
+        for _ in range(64):
+            for dep in self.deployments.deployments():
+                self._drain_deployment(dep, force=True)
+            found = find()
+            if found is not None:
+                return found
+            if not any(d.service is not None and len(d.service.queue)
+                       for d in self.deployments.deployments()):
+                break
         raise RuntimeError(                                # pragma: no cover
             f"request {resp.request_id} never completed")
 
@@ -290,18 +599,42 @@ class Gateway:
     # ------------------------------------------------------------------
     def _absorb(self, dep: Deployment, forecasts: list[Forecast]) -> None:
         """Attribute completed forecasts to tenants, fill the cache, and
-        buffer the responses for the next poll."""
+        buffer the responses for the next poll.  Completions report the
+        request's original ticket identity, even when recovery moved it
+        between queues."""
         for fc in forecasts:
-            tenant_id, key = self._pending.pop((dep.name, fc.request_id))
-            tenant = self.tenants.get(tenant_id)
+            rec = self._pending.pop((dep.name, fc.request_id), None)
+            if rec is None:
+                continue            # e.g. a canary probe's side traffic
+            if rec.canceled:
+                self.resilience.hedges_wasted += 1
+                continue
+            hedged = rec.partner is not None
+            if hedged:
+                twin = self._pending.get(rec.partner)
+                if twin is not None:
+                    twin.canceled = True
+            tenant = self.tenants.get(rec.tenant_id)
             tenant.stats.completed += 1
             tenant.stats.deadline_misses += int(fc.deadline_missed)
             self.stats.completed += 1
-            if self.cache is not None and key is not None:
-                self.cache.put(key, fc.predictions)
+            if self.cache is not None and rec.key is not None:
+                self.cache.put(rec.key, fc.predictions)
+                injector = self.resilience.injector(dep.name)
+                if injector is not None:
+                    injector.maybe_corrupt(self.cache, rec.key)
+            status = "ok"
+            if rec.degraded_source:
+                status = "degraded"
+                tenant.stats.degraded += 1
+                self.stats.degraded += 1
+                self.resilience.degraded_fallback += 1
             self._completed.append(GatewayResponse(
-                status="ok", tenant=tenant_id, deployment=dep.name,
-                version=dep.version, request_id=fc.request_id, forecast=fc))
+                status=status, tenant=rec.tenant_id,
+                deployment=rec.ticket_deployment,
+                version=rec.ticket_version, request_id=rec.ticket_id,
+                forecast=fc, degraded_source=rec.degraded_source,
+                hedged=hedged))
 
     def _drain_deployment(self, dep: Deployment, *, force: bool) -> None:
         svc = dep.service
@@ -309,11 +642,21 @@ class Gateway:
             return
         batches0 = svc.stats.batches
         busy0 = svc.stats.busy_seconds
+        failed0 = svc.stats.failed_batches
         self._absorb(dep, svc.flush() if force else svc.poll())
         dispatched = svc.stats.batches - batches0
         if dispatched:
-            self.admission.observe(
-                dep.name, (svc.stats.busy_seconds - busy0) / dispatched)
+            mean = (svc.stats.busy_seconds - busy0) / dispatched
+            self.admission.observe(dep.name, mean)
+            breaker = self.resilience.breaker(dep.name)
+            now = self.clock()
+            # Successful batches first, failures after: a crashed session
+            # stays down until restarted, so within one drain failures
+            # are always the suffix.
+            for _ in range(dispatched - (svc.stats.failed_batches
+                                         - failed0)):
+                breaker.record_success(mean, now)
+        self._handle_failures(dep)
 
     def poll(self) -> list[GatewayResponse]:
         """Dispatch every due batch on every deployment; returns (and
@@ -324,9 +667,18 @@ class Gateway:
         return done
 
     def flush(self) -> list[GatewayResponse]:
-        """Force-dispatch everything pending on every deployment."""
-        for dep in self.deployments.deployments():
-            self._drain_deployment(dep, force=True)
+        """Force-dispatch everything pending on every deployment.
+
+        Failure recovery can requeue work mid-drain (retries, fallback
+        re-routes), so the drain loops until every queue is empty; the
+        loop is bounded because retries are budgeted and circuits open.
+        """
+        for _ in range(64):
+            for dep in self.deployments.deployments():
+                self._drain_deployment(dep, force=True)
+            if not any(d.service is not None and len(d.service.queue)
+                       for d in self.deployments.deployments()):
+                break
         done, self._completed = self._completed, []
         return done
 
@@ -344,18 +696,24 @@ class Gateway:
     # Blue-green swap
     # ------------------------------------------------------------------
     def swap(self, deployment: str, source: Any, *,
-             version: str) -> SwapRecord:
+             version: str) -> SwapRecord | RollbackRecord:
         """Atomically swap ``deployment`` to a new checkpoint ``version``.
 
         The blue queue drains first (its completions are delivered to
         their tenants at the next poll — zero dropped in-flight
         requests), then the service flips to the green session and the
-        deployment's cache entries are invalidated.
+        deployment's cache entries are invalidated.  Before green takes
+        traffic it must pass canary health checks (replays of recently
+        served windows); a failing canary auto-rolls the deployment back
+        to the blue session and returns the :class:`RollbackRecord`
+        instead of the swap record — again with zero dropped requests.
         """
-        dep = self.deployments.get(deployment)
+        dep = self.deployments.get(deployment).warm()
+        blue_session = dep.service.session
+        blue_version, blue_source = dep.version, dep.source
         svc = dep.service
-        batches0 = svc.stats.batches if svc is not None else 0
-        busy0 = svc.stats.busy_seconds if svc is not None else 0.0
+        batches0 = svc.stats.batches
+        busy0 = svc.stats.busy_seconds
         record, drained = dep.swap(source, version=version)
         self._absorb(dep, drained)
         svc = dep.service
@@ -363,9 +721,59 @@ class Gateway:
         if dispatched:
             self.admission.observe(
                 dep.name, (svc.stats.busy_seconds - busy0) / dispatched)
+        self._handle_failures(dep)
         if self.cache is not None:
             self.cache.invalidate(dep.name)
         self.stats.swaps += 1
+        rollback = self._canary_check(dep, blue_session, blue_version,
+                                      blue_source)
+        if rollback is not None:
+            return rollback
+        return record
+
+    def _canary_check(self, dep: Deployment, blue_session: Any,
+                      blue_version: str,
+                      blue_source: Any) -> RollbackRecord | None:
+        """Health-check a freshly swapped green session by replaying
+        recently served windows; roll back to blue when it fails."""
+        probes = self.resilience.policy.canary_probes
+        windows = list(dep.recent_windows)[-probes:] if probes else []
+        if not windows:
+            return None
+        svc = dep.service
+        probes_run, reason = 0, None
+        for w in windows:
+            probes_run += 1
+            try:
+                if svc.fault_injector is not None:
+                    svc.fault_injector.on_dispatch(1)
+                x = svc.session.stage(1)
+                x[0] = w
+                preds = svc.session.predict(x)
+            except SessionFailure:
+                reason = "session_failure"
+            else:
+                if not np.all(np.isfinite(preds)):
+                    reason = "non_finite"
+            if (svc.service_time is not None
+                    and isinstance(self.clock, ManualClock)):
+                self.clock.advance(svc.service_time(1))
+            if reason is not None:
+                break
+        if reason is None:
+            return None
+        dropped = len(svc.queue)    # the swap drained it: 0
+        failed_version = dep.version
+        dep.rollback(blue_session, version=blue_version,
+                     source=blue_source)
+        if self.cache is not None:
+            self.cache.invalidate(dep.name)
+        record = RollbackRecord(
+            deployment=dep.name, failed_version=failed_version,
+            restored_version=blue_version, reason=reason,
+            probes_run=probes_run, dropped=dropped, at=self.clock())
+        self.resilience.rollbacks.append(record)
+        self.stats.rollbacks += 1
         return record
 
     # ------------------------------------------------------------------
@@ -426,4 +834,5 @@ class Gateway:
             "shed_by_tenant": self.admission.shed_by_tenant(),
             "cache": (self.cache.stats.to_dict()
                       if self.cache is not None else None),
+            "resilience": self.resilience.describe(),
         }

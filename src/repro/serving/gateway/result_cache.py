@@ -63,6 +63,8 @@ class CacheStats:
     expirations: int = 0
     evictions: int = 0
     invalidations: int = 0
+    stale_hits: int = 0
+    corruptions_detected: int = 0
 
     @property
     def hit_rate(self) -> float:
@@ -75,6 +77,8 @@ class CacheStats:
                 "expirations": self.expirations,
                 "evictions": self.evictions,
                 "invalidations": self.invalidations,
+                "stale_hits": self.stale_hits,
+                "corruptions_detected": self.corruptions_detected,
                 "hit_rate": self.hit_rate}
 
 
@@ -83,6 +87,8 @@ class _Entry:
     predictions: np.ndarray
     expires: float
     deployment: str = ""
+    fingerprint: str = ""       # digest of the stored array at put time
+    expired_noted: bool = False  # expiry counted once in stats
     nbytes: int = field(init=False)
 
     def __post_init__(self):
@@ -127,22 +133,64 @@ class ResultCache:
     def get(self, key: tuple) -> np.ndarray | None:
         """The cached predictions for ``key`` (an owned copy), or ``None``.
 
-        Expired entries are dropped on touch; a live hit refreshes LRU
-        recency but never the TTL — an entry's lifetime is bounded by its
-        insertion time, so a hot key cannot serve arbitrarily stale data.
+        Expired entries miss (counted once per entry) but stay resident
+        until LRU eviction or :meth:`purge_expired` — they are the
+        degradation ladder's stale inventory, reachable via
+        :meth:`get_stale` when a deployment goes down.  A live hit
+        refreshes LRU recency but never the TTL — an entry's lifetime is
+        bounded by its insertion time, so a hot key cannot serve
+        arbitrarily stale data as *fresh*.
         """
         entry = self._entries.get(key)
         if entry is None:
             self.stats.misses += 1
             return None
         if self.clock() >= entry.expires:
-            del self._entries[key]
-            self.stats.expirations += 1
+            if not entry.expired_noted:
+                entry.expired_noted = True
+                self.stats.expirations += 1
+            self.stats.misses += 1
+            return None
+        if not self._verify(key, entry):
             self.stats.misses += 1
             return None
         self._entries.move_to_end(key)
         self.stats.hits += 1
         return entry.predictions.copy()
+
+    def get_stale(self, key: tuple) -> np.ndarray | None:
+        """The entry for ``key`` ignoring TTL — the degradation path.
+
+        A stale answer is still keyed on the exact window fingerprint and
+        still integrity-checked against its stored digest, so degraded
+        responses are bitwise-equal to the forecast that was cached; only
+        freshness is sacrificed.  Does not refresh LRU recency.
+        """
+        entry = self._entries.get(key)
+        if entry is None or not self._verify(key, entry):
+            return None
+        self.stats.stale_hits += 1
+        return entry.predictions.copy()
+
+    def _verify(self, key: tuple, entry: _Entry) -> bool:
+        """Integrity check: drop (never serve) an entry whose bytes no
+        longer match the digest recorded at insertion."""
+        if window_fingerprint(entry.predictions) == entry.fingerprint:
+            return True
+        del self._entries[key]
+        self.stats.corruptions_detected += 1
+        return False
+
+    def corrupt(self, key: tuple) -> bool:
+        """Chaos hook (``store_corruption`` fault events): flip one byte
+        of the stored entry in place; returns whether ``key`` was
+        resident.  The integrity check catches it on the next read."""
+        entry = self._entries.get(key)
+        if entry is None:
+            return False
+        flat = entry.predictions.view(np.uint8).reshape(-1)
+        flat[0] ^= 0xFF
+        return True
 
     def put(self, key: tuple, predictions: np.ndarray) -> None:
         """Store one completed forecast (an owned copy) under ``key``."""
@@ -151,9 +199,10 @@ class ResultCache:
         elif len(self._entries) >= self.max_entries:
             self._entries.popitem(last=False)
             self.stats.evictions += 1
+        stored = np.ascontiguousarray(predictions).copy()
         self._entries[key] = _Entry(
-            predictions=np.ascontiguousarray(predictions).copy(),
-            expires=self.clock() + self.ttl, deployment=str(key[0]))
+            predictions=stored, expires=self.clock() + self.ttl,
+            deployment=str(key[0]), fingerprint=window_fingerprint(stored))
         self.stats.insertions += 1
 
     def invalidate(self, deployment: str | None = None) -> int:

@@ -56,6 +56,8 @@ class TenantStats:
     shed: int = 0
     quota_rejected: int = 0
     deadline_misses: int = 0
+    degraded: int = 0           # answered from stale cache or a fallback
+    failed: int = 0             # degradation ladder exhausted
 
     def to_dict(self) -> dict:
         return dict(self.__dict__)

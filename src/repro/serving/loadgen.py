@@ -64,6 +64,8 @@ class LoadReport:
     goodput_qps: float | None = None   # gateway: good answers / duration
     shed_rate: float | None = None     # gateway: shed / submitted
     per_tenant: dict | None = None     # gateway: tenant -> breakdown
+    degraded: int = 0                  # gateway: stale/fallback answers
+    failed: int = 0                    # gateway: degradation exhausted
 
     def to_dict(self) -> dict:
         return {k: (v if not isinstance(v, float) else float(v))
@@ -421,6 +423,8 @@ class GatewayLoadGenerator:
                       if d.service is not None) - batches0
         good = [r for r in responses if r.ok]
         shed = [r for r in responses if r.status == "shed"]
+        degraded = [r for r in responses if r.status == "degraded"]
+        failed = [r for r in responses if r.status == "failed"]
         computed = [r for r in good if not r.cached]
         lat = np.array([r.latency for r in good], dtype=np.float64)
         waits = np.array([r.forecast.queue_wait for r in computed],
@@ -437,18 +441,21 @@ class GatewayLoadGenerator:
             t = per_tenant.setdefault(r.tenant, {
                 "requests": 0, "completed": 0, "cache_hits": 0,
                 "shed": 0, "quota_rejected": 0, "deadline_misses": 0,
-                "latencies": []})
+                "degraded": 0, "failed": 0, "latencies": []})
             t["requests"] += 1
             if r.ok:
                 t["completed"] += 1
                 t["latencies"].append(r.latency)
                 t["cache_hits"] += int(r.cached)
+                t["degraded"] += int(r.status == "degraded")
                 if r.forecast is not None and not r.cached:
                     t["deadline_misses"] += int(r.forecast.deadline_missed)
             elif r.status == "shed":
                 t["shed"] += 1
             elif r.status == "rejected_quota":
                 t["quota_rejected"] += 1
+            elif r.status == "failed":
+                t["failed"] += 1
         for t in per_tenant.values():
             lats = np.array(t.pop("latencies"), dtype=np.float64)
             t["goodput_qps"] = (t["completed"] / duration
@@ -476,4 +483,5 @@ class GatewayLoadGenerator:
             seed=self.seed,
             goodput_qps=len(good) / duration if duration > 0 else 0.0,
             shed_rate=len(shed) / submitted if submitted else 0.0,
-            per_tenant=per_tenant)
+            per_tenant=per_tenant,
+            degraded=len(degraded), failed=len(failed))

@@ -23,7 +23,7 @@ from typing import Any, Callable
 import numpy as np
 
 from repro.serving.queue import ForecastRequest, MicroBatchQueue
-from repro.utils.errors import ShapeError
+from repro.utils.errors import SessionFailure, ShapeError
 
 
 class ManualClock:
@@ -72,6 +72,8 @@ class ServiceStats:
     batches: int = 0
     deadline_misses: int = 0
     busy_seconds: float = 0.0
+    failures: int = 0           # requests whose dispatch raised SessionFailure
+    failed_batches: int = 0
 
     @property
     def mean_batch_size(self) -> float:
@@ -106,6 +108,13 @@ class ForecastService:
                                      clock=self.clock)
         self.stats = ServiceStats()
         self._completed: list[Forecast] = []
+        # Resilience hooks (repro.serving.resilience): the injector fires
+        # planned session_crash/session_straggler events at dispatch
+        # boundaries; failed batches are buffered for take_failed() so the
+        # gateway can retry/degrade them — never silently dropped.
+        self.fault_injector = None
+        self.last_batch_seconds = 0.0
+        self._failed: list[tuple[list[ForecastRequest], SessionFailure]] = []
 
     # ------------------------------------------------------------------
     # Observation ingestion (delegates to the session's store(s))
@@ -151,6 +160,10 @@ class ForecastService:
         for i, fc in enumerate(self._completed):
             if fc.request_id == req.request_id:
                 return self._completed.pop(i)
+        for batch, exc in self._failed:
+            if any(r.request_id == req.request_id for r in batch):
+                raise SessionFailure(
+                    f"request {req.request_id} failed: {exc}") from exc
         raise RuntimeError(f"request {req.request_id} never completed")
 
     def forecast_streamed(self) -> np.ndarray:
@@ -194,6 +207,13 @@ class ForecastService:
         done, self._completed = self._completed, []
         return done
 
+    def take_failed(self) -> list[tuple[list[ForecastRequest], SessionFailure]]:
+        """Drain batches whose dispatch failed, as ``(requests, failure)``
+        pairs in dispatch order.  Failed requests keep their windows, so
+        a caller can resubmit or degrade them."""
+        failed, self._failed = self._failed, []
+        return failed
+
     # ------------------------------------------------------------------
     def _materialise(self, reqs: list[ForecastRequest]) -> np.ndarray:
         """Stack request windows directly into the session's staging
@@ -217,17 +237,37 @@ class ForecastService:
     def _dispatch(self, reqs: list[ForecastRequest]) -> list[Forecast]:
         if not reqs:
             return []
-        x = self._materialise(reqs)
+        failure = None
+        injector = self.fault_injector
         t0 = time.perf_counter()
-        preds = self.session.predict(x)
+        try:
+            if injector is not None:
+                injector.on_dispatch(len(reqs))
+            x = self._materialise(reqs)
+            preds = self.session.predict(x)
+        except SessionFailure as exc:
+            failure = exc
         service_seconds = time.perf_counter() - t0
         if self.service_time is not None:
             service_seconds = float(self.service_time(len(reqs)))
+        if injector is not None:
+            service_seconds = injector.scale_service_time(service_seconds)
         if isinstance(self.clock, ManualClock):
             self.clock.advance(service_seconds)
         now = self.clock()
         self.stats.busy_seconds += service_seconds
         self.stats.batches += 1
+        self.last_batch_seconds = service_seconds
+        if failure is not None:
+            # Charge the failed attempt honestly (the time passed, the
+            # slot was burned) but buffer the requests instead of losing
+            # them: the gateway decides retry / degrade / fail.
+            for req in reqs:
+                req.completed = now
+            self.stats.failures += len(reqs)
+            self.stats.failed_batches += 1
+            self._failed.append((list(reqs), failure))
+            return []
         out = []
         for i, req in enumerate(reqs):
             req.completed = now

@@ -21,6 +21,8 @@ from __future__ import annotations
 import json
 import os
 import tempfile
+import zipfile
+import zlib
 from typing import Any
 
 import numpy as np
@@ -28,6 +30,7 @@ import numpy as np
 from repro.nn.module import Module
 from repro.optim.optimizers import Adam, Optimizer, SGD
 from repro.preprocessing.scaler import StandardScaler
+from repro.utils.errors import CheckpointError
 
 
 def save_checkpoint(path: str, model: Module, optimizer: Optimizer | None = None,
@@ -91,35 +94,72 @@ def save_checkpoint(path: str, model: Module, optimizer: Optimizer | None = None
         raise
 
 
+def _read_archive(path: str) -> dict[str, np.ndarray]:
+    """Materialise every member of a checkpoint archive eagerly.
+
+    ``np.load`` is lazy: a truncated or bit-flipped member only explodes
+    (zipfile/zlib/CRC internals) when that member is finally read, which
+    may be deep inside the serving layer.  Forcing every array here turns
+    any corruption into a :class:`~repro.utils.errors.CheckpointError`
+    that names the offending path at the door.
+    """
+    try:
+        with np.load(str(path)) as archive:
+            return {key: archive[key] for key in archive.files}
+    except FileNotFoundError:
+        raise CheckpointError(
+            f"checkpoint {path!r} does not exist") from None
+    except (OSError, EOFError, KeyError, ValueError,
+            zipfile.BadZipFile, zlib.error) as exc:
+        raise CheckpointError(
+            f"checkpoint {path!r} is corrupted or truncated "
+            f"({type(exc).__name__}: {exc})") from exc
+
+
 def load_checkpoint(path: str, model: Module,
                     optimizer: Optimizer | None = None) -> dict[str, Any]:
-    """Restore ``model`` (and ``optimizer``) in place; returns metadata."""
-    with np.load(path) as archive:
-        meta = _meta_from(archive)
-        state = {key[len("param/"):]: archive[key]
-                 for key in archive.files if key.startswith("param/")}
-        model.load_state_dict(state)
-        if optimizer is not None:
-            opt_meta = meta.get("optimizer")
-            if opt_meta is None:
-                raise ValueError(f"{path} holds no optimizer state")
-            if opt_meta["type"] != type(optimizer).__name__:
-                raise ValueError(
-                    f"checkpoint optimizer {opt_meta['type']} != "
-                    f"{type(optimizer).__name__}")
-            optimizer.lr = float(opt_meta["lr"])
-            optimizer.step_count = int(opt_meta["step_count"])
-            for i in range(len(optimizer.params)):
-                if isinstance(optimizer, Adam) and f"adam_m/{i}" in archive:
-                    optimizer._m[i] = archive[f"adam_m/{i}"].copy()
-                    optimizer._v[i] = archive[f"adam_v/{i}"].copy()
-                elif isinstance(optimizer, SGD) and f"sgd_v/{i}" in archive:
-                    optimizer._velocity[i] = archive[f"sgd_v/{i}"].copy()
+    """Restore ``model`` (and ``optimizer``) in place; returns metadata.
+
+    Raises :class:`~repro.utils.errors.CheckpointError` (naming ``path``)
+    when the archive is missing, truncated, or not a checkpoint at all;
+    model/archive *shape* mismatches still surface as their own errors.
+    """
+    arrays = _read_archive(path)
+    meta = _meta_from(arrays, path)
+    state = {key[len("param/"):]: value
+             for key, value in arrays.items() if key.startswith("param/")}
+    model.load_state_dict(state)
+    if optimizer is not None:
+        opt_meta = meta.get("optimizer")
+        if opt_meta is None:
+            raise ValueError(f"{path} holds no optimizer state")
+        if opt_meta["type"] != type(optimizer).__name__:
+            raise ValueError(
+                f"checkpoint optimizer {opt_meta['type']} != "
+                f"{type(optimizer).__name__}")
+        optimizer.lr = float(opt_meta["lr"])
+        optimizer.step_count = int(opt_meta["step_count"])
+        for i in range(len(optimizer.params)):
+            if isinstance(optimizer, Adam) and f"adam_m/{i}" in arrays:
+                optimizer._m[i] = arrays[f"adam_m/{i}"].copy()
+                optimizer._v[i] = arrays[f"adam_v/{i}"].copy()
+            elif isinstance(optimizer, SGD) and f"sgd_v/{i}" in arrays:
+                optimizer._velocity[i] = arrays[f"sgd_v/{i}"].copy()
     return meta
 
 
-def _meta_from(archive) -> dict[str, Any]:
-    meta = json.loads(bytes(archive["__meta__"]).decode("utf-8"))
+def _meta_from(arrays: dict[str, np.ndarray], path: str) -> dict[str, Any]:
+    blob = arrays.get("__meta__")
+    if blob is None:
+        raise CheckpointError(
+            f"checkpoint {path!r} carries no __meta__ record; not a "
+            f"repro checkpoint (or one whose metadata was destroyed)")
+    try:
+        meta = json.loads(bytes(blob).decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise CheckpointError(
+            f"checkpoint {path!r} metadata is corrupted "
+            f"({type(exc).__name__}: {exc})") from exc
     # Checkpoints written before specs were embedded lack the key entirely.
     meta.setdefault("spec", None)
     return meta
@@ -128,14 +168,13 @@ def _meta_from(archive) -> dict[str, Any]:
 def read_checkpoint_meta(path: str) -> dict[str, Any]:
     """Metadata (epoch, extra, optimizer summary, embedded spec dict)
     without touching any model."""
-    with np.load(path) as archive:
-        return _meta_from(archive)
+    return _meta_from(_read_archive(path), path)
 
 
 def read_checkpoint_scaler(path: str) -> StandardScaler | None:
     """The scaler embedded by ``save_checkpoint(..., scaler=...)``, if any."""
-    with np.load(path) as archive:
-        if "scaler/mean" not in archive.files:
-            return None
-        return StandardScaler(mean=archive["scaler/mean"],
-                              std=archive["scaler/std"])
+    arrays = _read_archive(path)
+    if "scaler/mean" not in arrays:
+        return None
+    return StandardScaler(mean=arrays["scaler/mean"],
+                          std=arrays["scaler/std"])

@@ -57,8 +57,12 @@ def train_with_recovery(make_trainer: Callable[[], DDPTrainer],
     epochs:
         the fit budget, same meaning as :meth:`DDPTrainer.fit`.
     max_restarts:
-        give up (re-raising the last :class:`RankFailure`) after this
-        many relaunches — an MTBF so low that training cannot outrun it.
+        give up after this many relaunches — an MTBF so low that
+        training cannot outrun it.  Exceeding the cap raises a loud
+        ``RuntimeError`` that lists every fault event fired across the
+        attempts (chained to the last :class:`RankFailure`), so a run
+        killed by its own fault plan is diagnosable from the traceback
+        alone.
 
     Returns ``(trainer, history, report)``: the surviving trainer, the
     full epoch history (identical to an uninterrupted run's), and the
@@ -89,4 +93,13 @@ def train_with_recovery(make_trainer: Callable[[], DDPTrainer],
                 print(f"recovery: {failure}; restart "
                       f"{report.restarts}/{max_restarts}")
             if report.restarts > max_restarts:
-                raise
+                events = "none recorded"
+                if isinstance(transport, FaultyTransport):
+                    events = ("; ".join(
+                        transport.plan.events[i].encode()
+                        for i in sorted(fired)) or "none recorded")
+                raise RuntimeError(
+                    f"training gave up after {report.restarts} restarts "
+                    f"(max_restarts={max_restarts}); last failure: "
+                    f"{failure}; fired fault events: {events}"
+                ) from failure

@@ -27,3 +27,21 @@ class OutOfMemoryError(ReproError, MemoryError):
 
 class CommunicatorError(ReproError, RuntimeError):
     """A collective or point-to-point operation was used incorrectly."""
+
+
+class CheckpointError(ReproError, RuntimeError):
+    """A checkpoint file could not be written or read back.
+
+    Raised instead of leaking raw NumPy/zipfile internals when an ``.npz``
+    archive is corrupted, truncated, or not a checkpoint at all; the
+    message always names the offending path.
+    """
+
+
+class SessionFailure(ReproError, RuntimeError):
+    """A serving session died mid-dispatch (injected or real).
+
+    The serving resilience layer (:mod:`repro.serving.resilience`)
+    catches this at the gateway: the failed batch's requests are retried,
+    degraded, or failed explicitly — never silently dropped.
+    """

@@ -135,15 +135,20 @@ class TestCrashRecovery:
 
     def test_gives_up_after_max_restarts(self, data, tmp_path):
         # One crash per step 0..3: with max_restarts=2 the run must
-        # surface the failure instead of looping forever.
+        # surface the failure instead of looping forever, and the error
+        # must list the fault events that killed it.
         plan = FaultPlan()
         for step in range(4):
             plan = plan.rank_crash(step=step, rank=0)
         ckpt = str(tmp_path / "hopeless.npz")
-        with pytest.raises(RankFailure):
+        with pytest.raises(RuntimeError,
+                           match="fired fault events") as excinfo:
             train_with_recovery(
                 lambda: make_trainer(data, plan=plan, ckpt=ckpt), EPOCHS,
                 max_restarts=2)
+        assert isinstance(excinfo.value.__cause__, RankFailure)
+        assert "rank_crash" in str(excinfo.value)
+        assert "max_restarts=2" in str(excinfo.value)
 
 
 class TestTimingFaults:

@@ -219,6 +219,72 @@ class TestSelfDescribingCheckpoint:
                             scaler=StandardScaler())
 
 
+class TestCorruptCheckpoints:
+    """Damaged archives must fail with a CheckpointError naming the
+    path — never a raw zipfile/zlib/JSON traceback from lazy np.load."""
+
+    def save(self, setup, tmp_path, name="victim.npz"):
+        path = str(tmp_path / name)
+        save_checkpoint(path, setup(), epoch=1)
+        return path
+
+    def test_missing_file(self, setup, tmp_path):
+        from repro.training.checkpoint import read_checkpoint_meta
+        from repro.utils.errors import CheckpointError
+        path = str(tmp_path / "nope.npz")
+        with pytest.raises(CheckpointError, match="nope.npz"):
+            read_checkpoint_meta(path)
+
+    def test_truncated_archive(self, setup, tmp_path):
+        from repro.utils.errors import CheckpointError
+        path = self.save(setup, tmp_path)
+        blob = open(path, "rb").read()
+        with open(path, "wb") as fh:
+            fh.write(blob[:len(blob) // 2])
+        with pytest.raises(CheckpointError, match="victim.npz"):
+            load_checkpoint(path, setup())
+
+    def test_bitflipped_member(self, setup, tmp_path):
+        from repro.utils.errors import CheckpointError
+        path = self.save(setup, tmp_path)
+        blob = bytearray(open(path, "rb").read())
+        blob[len(blob) // 2] ^= 0xFF       # flip one payload byte
+        with open(path, "wb") as fh:
+            fh.write(bytes(blob))
+        with pytest.raises(CheckpointError, match="victim.npz"):
+            load_checkpoint(path, setup())
+
+    def test_not_a_zipfile(self, setup, tmp_path):
+        from repro.utils.errors import CheckpointError
+        path = str(tmp_path / "garbage.npz")
+        with open(path, "wb") as fh:
+            fh.write(b"this was never an archive")
+        with pytest.raises(CheckpointError,
+                           match="corrupted or truncated"):
+            load_checkpoint(path, setup())
+
+    def test_npz_without_meta_record(self, setup, tmp_path):
+        from repro.training.checkpoint import read_checkpoint_meta
+        from repro.utils.errors import CheckpointError
+        path = str(tmp_path / "alien.npz")
+        np.savez(path, foo=np.arange(3))
+        with pytest.raises(CheckpointError, match="__meta__"):
+            read_checkpoint_meta(path)
+
+    def test_scaler_reader_guards_too(self, setup, tmp_path):
+        from repro.training.checkpoint import read_checkpoint_scaler
+        from repro.utils.errors import CheckpointError
+        path = str(tmp_path / "half.npz")
+        with open(path, "wb") as fh:
+            fh.write(b"PK\x03\x04broken")
+        with pytest.raises(CheckpointError, match="half.npz"):
+            read_checkpoint_scaler(path)
+
+    def test_checkpoint_error_is_runtime_error(self):
+        from repro.utils.errors import CheckpointError
+        assert issubclass(CheckpointError, RuntimeError)
+
+
 class TestResumeEdgeCases:
     """Resume across execution environments: a transport swap must
     reproduce bitwise; a world-size (or run-shape) swap must fail loudly

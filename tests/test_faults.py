@@ -150,6 +150,81 @@ class TestFaultyTransport:
         faulty.collective("allreduce", 64, "gradient")
         assert faulty.now < 9.0
 
+    def test_drop_byte_accounting_pins(self):
+        """A dropped send costs exactly the timeout in time and exactly
+        one copy in bytes — the retransmission moves the payload through
+        the real fabric, the lost copy never counts as traffic."""
+        clean = SimTransport(2)
+        clean.p2p(0, 1, 4096, "data")
+        transfer = clean.now
+        faulty = self.make(FaultPlan().message_drop(0.5, category="data"))
+        faulty.p2p(0, 1, 4096, "data")
+        assert faulty.now == pytest.approx(0.5 + transfer)
+        assert faulty.stats.bytes_by_category["data"] == 4096  # not doubled
+        assert faulty.dropped_messages == 1
+
+    def test_self_and_empty_sends_never_drop(self):
+        faulty = self.make(FaultPlan().message_drop(0.5, category="data"))
+        faulty.p2p(1, 1, 4096, "data")      # local move: nothing on the wire
+        faulty.p2p(0, 1, 0, "data")         # empty: nothing to lose
+        assert faulty.dropped_messages == 0
+
+    def test_every_matching_send_drops_once(self):
+        faulty = self.make(FaultPlan().message_drop(0.25, category="data"))
+        for _ in range(3):
+            faulty.p2p(0, 1, 128, "data")
+        assert faulty.dropped_messages == 3
+        assert faulty.stats.bytes_by_category["data"] == 3 * 128
+
+
+class TestServingFaultKinds:
+    """The gateway-side event kinds added for the self-healing serving
+    layer: compact encoding, target validation, and the view split."""
+
+    def gateway_plan(self):
+        return (FaultPlan(seed=5)
+                .session_crash("bay", at_dispatch=3)
+                .session_straggler("bay", 2.5, start_dispatch=1,
+                                   end_dispatch=4)
+                .store_corruption("standby", at_insert=2)
+                .rank_crash(step=1))
+
+    def test_builders_encode_compactly(self):
+        spec = self.gateway_plan().to_spec()
+        assert spec[0] == "session_crash:request=3,target=bay"
+        assert spec[1] == ("session_straggler:step=1,until=4,"
+                          "slowdown=2.5,target=bay")
+        assert spec[2] == "store_corruption:request=2,target=standby"
+
+    def test_spec_round_trip_with_targets(self):
+        plan = self.gateway_plan()
+        assert FaultPlan.from_spec(plan.to_spec(), seed=5) == plan
+
+    def test_gateway_events_filter_by_deployment(self):
+        plan = self.gateway_plan()
+        assert [i for i, _ in plan.gateway_events()] == [0, 1, 2]
+        assert [i for i, _ in plan.gateway_events("bay")] == [0, 1]
+        assert [i for i, _ in plan.gateway_events("standby")] == [2]
+        assert [i for i, _ in plan.gateway_events("nope")] == []
+        # the transport never consumes serving-side events
+        assert [ev.kind for _, ev in plan.transport_events()] \
+            == ["rank_crash"]
+
+    def test_target_is_required(self):
+        for kind in ("session_crash", "session_straggler",
+                     "store_corruption"):
+            with pytest.raises(ValueError, match="target"):
+                FaultEvent(kind)
+
+    def test_target_rejects_encoding_delimiters(self):
+        for bad in ("a,b", "a=b", "a:b"):
+            with pytest.raises(ValueError, match="target"):
+                FaultEvent("session_crash", target=bad)
+
+    def test_session_straggler_slowdown_validated(self):
+        with pytest.raises(ValueError, match="slowdown"):
+            FaultPlan().session_straggler("bay", 0.5)
+
 
 class TestRunSpecFaults:
     def test_faults_require_distributed_strategy(self):

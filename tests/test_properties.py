@@ -179,6 +179,54 @@ def test_unbroadcast_inverts_broadcast(seed):
 
 
 # ---------------------------------------------------------------------------
+# Fault plans: compact encoding <-> decode is the identity
+# ---------------------------------------------------------------------------
+from repro.runtime.faults import FAULT_KINDS, GATEWAY_KINDS, FaultEvent, FaultPlan
+
+_TARGETS = st.text(alphabet="abcdefghijklmnopqrstuvwxyz0123456789-_",
+                   min_size=1, max_size=12)
+
+
+@st.composite
+def fault_events(draw):
+    """Arbitrary valid FaultEvents across every kind, including the
+    serving-side ones (which require a delimiter-free target)."""
+    kind = draw(st.sampled_from(FAULT_KINDS))
+    step = draw(st.integers(0, 500))
+    until = draw(st.one_of(st.none(), st.integers(step + 1, step + 200)))
+    return FaultEvent(
+        kind=kind, step=step, until=until,
+        rank=draw(st.integers(0, 16)),
+        slowdown=draw(st.floats(1.0, 16.0, allow_nan=False)),
+        seconds=draw(st.floats(0.0, 10.0, allow_nan=False)),
+        category=draw(st.sampled_from([None, "gradient", "data", "halo"])),
+        shard=draw(st.integers(0, 8)),
+        request=draw(st.integers(0, 1000)),
+        target=draw(_TARGETS) if kind in GATEWAY_KINDS else "")
+
+
+@settings(max_examples=80, deadline=None)
+@given(fault_events())
+def test_fault_event_encode_decode_roundtrip(ev):
+    assert FaultEvent.decode(ev.encode()) == ev
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.lists(fault_events(), max_size=8), st.integers(0, 2**31))
+def test_fault_plan_spec_roundtrip_and_views_partition(events, seed):
+    plan = FaultPlan(tuple(events), seed=seed)
+    assert FaultPlan.from_spec(plan.to_spec(), seed=seed) == plan
+    # Every event is consumed by exactly one layer: transport, sharded
+    # serving (worker_crash), or the gateway resilience layer.
+    transport = {i for i, _ in plan.transport_events()}
+    workers = {i for i, _ in plan.serving_events()}
+    gateway = {i for i, _ in plan.gateway_events()}
+    assert transport | workers | gateway == set(range(len(plan)))
+    assert transport.isdisjoint(workers | gateway)
+    assert workers.isdisjoint(gateway)
+
+
+# ---------------------------------------------------------------------------
 # Seeding
 # ---------------------------------------------------------------------------
 @given(st.integers(0, 2**31), st.text(max_size=20), st.text(max_size=20))

@@ -1,0 +1,668 @@
+"""Self-healing gateway: circuit breakers, fault injection, degradation.
+
+Runs entirely on deterministic toy sessions (predictions = window x
+scale) and a ManualClock, so every trip, probe, retry, hedge and
+rollback in here is exact — no wall-clock thresholds, no flakiness.
+"""
+
+import numpy as np
+import pytest
+
+from repro.api import build_gateway
+from repro.runtime.faults import FaultPlan
+from repro.serving.gateway import Gateway
+from repro.serving.gateway.result_cache import ResultCache, cache_key
+from repro.serving.resilience import (
+    CLOSED,
+    DeploymentFaultInjector,
+    HALF_OPEN,
+    HealthMonitor,
+    OPEN,
+    CircuitBreaker,
+    ResiliencePolicy,
+)
+from repro.serving.service import ManualClock
+from repro.utils.errors import SessionFailure
+
+H, N, F = 4, 3, 2
+
+
+def service_time(n: int) -> float:
+    # batch of 1: 1.1ms; baseline (batch of 4): 1.4ms
+    return 1e-3 + 1e-4 * n
+
+
+BASELINE = service_time(4)
+
+
+class ToySession:
+    """Deterministic in-memory session: predictions = window * scale.
+
+    A pure function of the input window, so two sessions with the same
+    ``scale`` produce bitwise-identical forecasts — the property the
+    fallback/stale degradation tests pin.
+    """
+
+    def __init__(self, *, scale: float = 2.0, max_batch: int = 8):
+        self.horizon, self.num_nodes, self.in_features = H, N, F
+        self.max_batch = max_batch
+        self.scaler = None
+        self.scale = float(scale)
+        self._staging = np.zeros((max_batch, H, N, F))
+        self.predicts = 0
+
+    def stage(self, n):
+        return self._staging[:n]
+
+    def predict(self, x):
+        self.predicts += 1
+        return np.asarray(x) * self.scale
+
+
+class DoomedSession:
+    """Delegates everything to an inner session but dies on predict."""
+
+    def __init__(self, inner):
+        self._inner = inner
+
+    def __getattr__(self, name):
+        return getattr(self._inner, name)
+
+    def predict(self, x):
+        raise SessionFailure("green session is broken")
+
+
+class NaNSession:
+    """Predicts fine — except the numbers are garbage."""
+
+    def __init__(self, inner):
+        self._inner = inner
+
+    def __getattr__(self, name):
+        return getattr(self._inner, name)
+
+    def predict(self, x):
+        out = np.asarray(x) * 2.0
+        out = out.copy()
+        out[..., 0] = np.nan
+        return out
+
+
+def expected(window, scale=2.0):
+    return np.asarray(window) * scale
+
+
+def make_windows(n, seed=0):
+    rng = np.random.default_rng(seed)
+    return [rng.normal(size=(H, N, F)) for _ in range(n)]
+
+
+KEY = "k-ops"
+
+
+def make_gw(*, fallback=False, scale=2.0, **kw):
+    kw.setdefault("clock", ManualClock())
+    kw.setdefault("max_batch", 4)
+    kw.setdefault("max_wait", 0.002)
+    kw.setdefault("service_time", service_time)
+    gw = Gateway(**kw)
+    gw.add_deployment("a", ToySession(scale=scale),
+                      fallback="b" if fallback else None)
+    if fallback:
+        gw.add_deployment("b", ToySession(scale=scale))
+    gw.add_tenant("ops", api_key=KEY)
+    return gw
+
+
+def reasons(gw, deployment=None):
+    return [t["reason"] for t in gw.resilience.transitions(deployment)]
+
+
+# ======================================================================
+class TestResiliencePolicy:
+    def test_defaults_are_valid(self):
+        p = ResiliencePolicy()
+        assert p.failure_threshold == 2 and p.serve_stale and not p.hedge
+
+    @pytest.mark.parametrize("kw", [
+        dict(failure_threshold=0),
+        dict(latency_blowout=1.0),
+        dict(latency_alpha=0.0),
+        dict(latency_alpha=1.5),
+        dict(reset_timeout=0.0),
+        dict(max_retries=-1),
+        dict(hedge_latency_factor=1.0),
+        dict(canary_probes=-1),
+    ])
+    def test_rejects_bad_knobs(self, kw):
+        with pytest.raises(ValueError):
+            ResiliencePolicy(**kw)
+
+
+class TestHealthMonitor:
+    def test_ewma(self):
+        m = HealthMonitor(alpha=0.5)
+        m.observe_latency(1.0)
+        m.observe_latency(2.0)
+        assert m.ewma_latency == pytest.approx(1.5)
+
+    def test_never_trips_without_baseline(self):
+        m = HealthMonitor(alpha=0.5)
+        m.observe_latency(1e9)
+        assert not m.latency_blown(2.0)
+
+    def test_blowout_against_baseline(self):
+        m = HealthMonitor(alpha=1.0, baseline=1.0)
+        m.observe_latency(5.0)
+        assert m.latency_blown(4.0)
+        assert not m.latency_blown(6.0)
+        assert m.latency_blown(4.0, seconds=4.1)
+        assert not m.latency_blown(4.0, seconds=3.9)
+
+    def test_streaks_and_reset(self):
+        m = HealthMonitor(baseline=1.0)
+        m.record_failure()
+        m.record_failure()
+        assert m.consecutive_failures == 2 and m.failures == 2
+        m.record_success()
+        assert m.consecutive_failures == 0 and m.successes == 1
+        m.observe_latency(9.0)
+        m.reset(latency=1.0)
+        assert m.ewma_latency == 1.0 and m.baseline == 1.0
+
+
+# ======================================================================
+class TestCircuitBreaker:
+    def make(self, **pol):
+        pol.setdefault("failure_threshold", 2)
+        pol.setdefault("reset_timeout", 0.05)
+        clock = ManualClock()
+        b = CircuitBreaker("a", ResiliencePolicy(**pol), clock, baseline=1.0)
+        return b, clock
+
+    def test_opens_on_failure_streak(self):
+        b, clock = self.make()
+        b.record_failure()
+        assert b.state == CLOSED
+        b.record_failure()
+        assert b.state == OPEN
+        assert [t.reason for t in b.transitions] == ["failures"]
+        assert b.before_request() == OPEN          # timeout not yet served
+        clock.advance(0.05)
+        assert b.before_request() == HALF_OPEN
+        assert [t.reason for t in b.transitions] == ["failures", "timeout"]
+
+    def test_success_resets_streak(self):
+        b, _ = self.make()
+        b.record_failure()
+        b.record_success(0.5)
+        b.record_failure()
+        assert b.state == CLOSED
+
+    def test_probe_slot_is_single(self):
+        b, clock = self.make()
+        b.record_failure(), b.record_failure()
+        clock.advance(0.05)
+        assert b.before_request() == HALF_OPEN
+        assert b.try_probe()
+        assert not b.try_probe()                   # one probe at a time
+        b.cancel_probe()
+        assert b.try_probe()                       # shed probes release it
+
+    def test_probe_success_closes(self):
+        b, clock = self.make()
+        b.record_failure(), b.record_failure()
+        clock.advance(0.05)
+        b.before_request(), b.try_probe()
+        b.record_success(0.5)
+        assert b.state == CLOSED
+        assert b.monitor.ewma_latency == 0.5       # fresh slate post-recovery
+        assert b.monitor.consecutive_failures == 0
+        assert [t.reason for t in b.transitions][-1] == "probe_ok"
+
+    def test_probe_failure_reopens(self):
+        b, clock = self.make()
+        b.record_failure(), b.record_failure()
+        clock.advance(0.05)
+        b.before_request(), b.try_probe()
+        b.record_failure()
+        assert b.state == OPEN
+        assert [t.reason for t in b.transitions][-1] == "probe_failed"
+
+    def test_straggling_probe_reopens(self):
+        b, clock = self.make(latency_blowout=4.0)
+        b.record_failure(), b.record_failure()
+        clock.advance(0.05)
+        b.before_request(), b.try_probe()
+        b.record_success(10.0)                     # 10x the 1.0 baseline
+        assert b.state == OPEN
+        assert [t.reason for t in b.transitions][-1] == "latency"
+
+    def test_latency_blowout_opens_closed_circuit(self):
+        b, _ = self.make(latency_blowout=4.0)
+        b.record_success(10.0)
+        assert b.state == OPEN
+        assert [t.reason for t in b.transitions] == ["latency"]
+
+    def test_no_baseline_means_no_latency_trip(self):
+        clock = ManualClock()
+        b = CircuitBreaker("a", ResiliencePolicy(), clock)   # no baseline
+        for _ in range(5):
+            b.record_success(100.0)
+        assert b.state == CLOSED
+
+    def test_degraded_is_slow_but_closed(self):
+        b, _ = self.make(latency_blowout=8.0, hedge_latency_factor=2.0)
+        assert not b.degraded()                    # no EWMA yet
+        b.record_success(3.0)
+        assert b.degraded()
+        b2, _ = self.make(latency_blowout=2.5, hedge_latency_factor=2.0)
+        b2.record_success(3.0)                     # blows the circuit open
+        assert b2.state == OPEN and not b2.degraded()
+
+
+# ======================================================================
+class TestDeploymentFaultInjector:
+    def test_crash_latches_until_revive(self):
+        plan = FaultPlan().session_crash("a", at_dispatch=2)
+        inj = DeploymentFaultInjector("a", plan)
+        inj.on_dispatch(1)
+        inj.on_dispatch(1)
+        with pytest.raises(SessionFailure):
+            inj.on_dispatch(1)                     # ordinal 2 fires
+        with pytest.raises(SessionFailure):
+            inj.on_dispatch(1)                     # stays down
+        inj.revive()
+        inj.on_dispatch(1)                         # one-shot: no refire
+        assert inj.crashes == 1 and not inj.dead
+
+    def test_straggler_scales_a_dispatch_range(self):
+        plan = FaultPlan().session_straggler("a", 4.0, start_dispatch=1,
+                                             end_dispatch=3)
+        inj = DeploymentFaultInjector("a", plan)
+        scales = []
+        for _ in range(4):
+            inj.on_dispatch(1)
+            scales.append(inj.scale_service_time(1.0))
+        assert scales == [1.0, 4.0, 4.0, 1.0]
+
+    def test_corruption_fires_at_insert_ordinal(self):
+        clock = ManualClock()
+        plan = FaultPlan().store_corruption("a", at_insert=1)
+        inj = DeploymentFaultInjector("a", plan)
+        cache = ResultCache(ttl=10.0, clock=clock)
+        w0, w1 = make_windows(2)
+        k0 = cache_key("a", "v1", w0)
+        k1 = cache_key("a", "v1", w1)
+        cache.put(k0, w0[..., 0])
+        assert not inj.maybe_corrupt(cache, k0)    # insert ordinal 0: clean
+        cache.put(k1, w1[..., 0])
+        assert inj.maybe_corrupt(cache, k1)        # ordinal 1 fires
+        assert cache.get(k0) is not None
+        assert cache.get(k1) is None               # integrity check caught it
+        assert cache.stats.corruptions_detected == 1
+
+    def test_events_filter_by_deployment(self):
+        plan = (FaultPlan().session_crash("a").session_straggler("b", 2.0)
+                .rank_crash(5, rank=0))
+        inj = DeploymentFaultInjector("b", plan)
+        assert [ev.kind for _, ev in inj._events] == ["session_straggler"]
+        assert all(ev.kind not in ("session_crash", "session_straggler",
+                                   "store_corruption")
+                   for _, ev in plan.transport_events())
+
+
+# ======================================================================
+class TestStaleCache:
+    def test_expired_entries_stay_for_stale_serving(self):
+        clock = ManualClock()
+        cache = ResultCache(ttl=1.0, clock=clock)
+        (w,) = make_windows(1)
+        key = cache_key("a", "v1", w)
+        cache.put(key, w[..., 0])
+        clock.advance(2.0)
+        assert cache.get(key) is None
+        assert cache.get(key) is None
+        assert cache.stats.expirations == 1        # counted once per entry
+        stale = cache.get_stale(key)
+        assert stale is not None
+        np.testing.assert_array_equal(stale, w[..., 0])
+        assert cache.stats.stale_hits == 1
+
+    def test_stale_reads_are_integrity_checked(self):
+        clock = ManualClock()
+        cache = ResultCache(ttl=1.0, clock=clock)
+        (w,) = make_windows(1)
+        key = cache_key("a", "v1", w)
+        cache.put(key, w[..., 0])
+        clock.advance(2.0)
+        assert cache.corrupt(key)
+        assert cache.get_stale(key) is None
+        assert cache.stats.corruptions_detected == 1
+        assert len(cache) == 0                     # dropped, never served
+
+
+# ======================================================================
+class TestSelfHealingGateway:
+    def test_crash_retry_exhaustion_then_probe_recovery(self):
+        policy = ResiliencePolicy(failure_threshold=2, max_retries=1,
+                                  reset_timeout=0.01)
+        plan = FaultPlan().session_crash("a", at_dispatch=0)
+        gw = make_gw(resilience=policy, fault_plan=plan)
+        clock = gw.clock
+        w0, w1 = make_windows(2)
+
+        r1 = gw.request(KEY, "a", w0)
+        assert r1.status == "failed" and r1.reason == "session_failure"
+        assert not r1.ok
+        assert gw.resilience.retries == 1          # one budgeted retry
+        assert reasons(gw) == ["failures"]
+        with pytest.raises(RuntimeError):
+            r1.latency                             # no forecast to stamp
+
+        clock.advance(0.02)                        # past reset_timeout
+        r2 = gw.request(KEY, "a", w1)
+        assert r2.status == "ok"
+        np.testing.assert_array_equal(r2.forecast.predictions,
+                                      expected(w1)[..., 0])
+        assert reasons(gw) == ["failures", "timeout", "probe_ok"]
+        assert gw.resilience.restarts == 1
+        assert gw.deployments.get("a").restarts == 1
+        assert gw.resilience.breaker("a").state == CLOSED
+
+    def test_stale_cache_degradation_is_bitwise(self):
+        policy = ResiliencePolicy(failure_threshold=1, max_retries=0,
+                                  reset_timeout=100.0)
+        plan = FaultPlan().session_crash("a", at_dispatch=1)
+        gw = make_gw(resilience=policy, fault_plan=plan, cache_ttl=0.5)
+        w0, w1 = make_windows(2)
+
+        r1 = gw.request(KEY, "a", w0)              # dispatch 0: healthy
+        assert r1.status == "ok"
+        r2 = gw.request(KEY, "a", w1)              # dispatch 1: crash
+        assert r2.status == "failed"               # no stale entry for w1
+        assert gw.resilience.breaker("a").state == OPEN
+
+        gw.clock.advance(1.0)                      # w0's entry expires
+        r3 = gw.submit(KEY, "a", w0)
+        assert r3.status == "degraded"
+        assert r3.degraded_source == "stale_cache"
+        assert r3.ok
+        np.testing.assert_array_equal(r3.forecast.predictions,
+                                      r1.forecast.predictions)
+        assert gw.cache.stats.stale_hits == 1
+        assert gw.resilience.degraded_stale == 1
+        assert gw.stats.degraded == 1
+
+    def test_fallback_reroute_keeps_the_ticket(self):
+        policy = ResiliencePolicy(failure_threshold=1, max_retries=0)
+        plan = FaultPlan().session_crash("a", at_dispatch=0)
+        gw = make_gw(fallback=True, resilience=policy, fault_plan=plan)
+        (w,) = make_windows(1)
+
+        r = gw.request(KEY, "a", w)
+        assert r.status == "degraded"
+        assert r.degraded_source == "fallback:b"
+        # completion reports the original admission ticket, not b's queue
+        assert r.deployment == "a"
+        np.testing.assert_array_equal(r.forecast.predictions,
+                                      expected(w)[..., 0])
+        assert gw.resilience.degraded_fallback == 1
+        assert gw.stats.failed == 0                # the ladder answered
+
+    def test_open_circuit_degrades_at_submit(self):
+        policy = ResiliencePolicy(failure_threshold=1, max_retries=0,
+                                  reset_timeout=100.0)
+        plan = FaultPlan().session_crash("a", at_dispatch=0)
+        gw = make_gw(fallback=True, resilience=policy, fault_plan=plan)
+        w0, w1 = make_windows(2)
+
+        r1 = gw.request(KEY, "a", w0)              # trips the circuit
+        assert r1.status == "degraded"
+        r2 = gw.submit(KEY, "a", w1)               # open: routed at the door
+        assert r2.status == "admitted"
+        assert r2.deployment == "b"
+        assert r2.degraded_source == "fallback:b"
+        (done,) = gw.flush()
+        assert done.status == "degraded"
+        np.testing.assert_array_equal(done.forecast.predictions,
+                                      expected(w1)[..., 0])
+        assert gw.resilience.degraded_fallback == 2
+
+    def test_exhausted_ladder_fails_explicitly(self):
+        policy = ResiliencePolicy(failure_threshold=1, max_retries=0,
+                                  serve_stale=False)
+        plan = FaultPlan().session_crash("a", at_dispatch=0)
+        gw = make_gw(resilience=policy, fault_plan=plan)
+        (w,) = make_windows(1)
+        r = gw.request(KEY, "a", w)
+        assert r.status == "failed"
+        assert gw.stats.failed == 1
+        assert gw.resilience.failed == 1
+        # nothing hangs, nothing is silently dropped
+        assert gw.stats.requests == 1
+        assert not gw._pending
+
+    def test_straggler_opens_circuit_then_recovers(self):
+        policy = ResiliencePolicy(reset_timeout=0.01)
+        plan = FaultPlan().session_straggler("a", 10.0, start_dispatch=0,
+                                             end_dispatch=1)
+        gw = make_gw(resilience=policy, fault_plan=plan)
+        w0, w1 = make_windows(2)
+        r1 = gw.request(KEY, "a", w0)
+        assert r1.status == "ok"                   # slow, not wrong
+        assert gw.resilience.breaker("a").state == OPEN
+        assert reasons(gw) == ["latency"]
+        gw.clock.advance(0.02)
+        r2 = gw.request(KEY, "a", w1)              # probe: straggle is over
+        assert r2.status == "ok"
+        assert reasons(gw) == ["latency", "timeout", "probe_ok"]
+
+    def test_straggling_probe_keeps_circuit_open(self):
+        policy = ResiliencePolicy(reset_timeout=0.01)
+        plan = FaultPlan().session_straggler("a", 10.0, start_dispatch=0,
+                                             end_dispatch=2)
+        gw = make_gw(resilience=policy, fault_plan=plan)
+        w = make_windows(3)
+        gw.request(KEY, "a", w[0])                 # trips on latency
+        gw.clock.advance(0.02)
+        gw.request(KEY, "a", w[1])                 # probe still straggling
+        assert reasons(gw) == ["latency", "timeout", "latency"]
+        assert gw.resilience.breaker("a").state == OPEN
+        gw.clock.advance(0.02)
+        gw.request(KEY, "a", w[2])                 # healthy probe
+        assert reasons(gw) == ["latency", "timeout", "latency",
+                               "timeout", "probe_ok"]
+        assert gw.resilience.breaker("a").state == CLOSED
+
+    def test_transitions_deterministic_under_fixed_plan(self):
+        def run():
+            policy = ResiliencePolicy(failure_threshold=2, max_retries=1,
+                                      reset_timeout=0.01)
+            plan = (FaultPlan().session_crash("a", at_dispatch=0)
+                    .session_straggler("a", 10.0, start_dispatch=3,
+                                       end_dispatch=4))
+            gw = make_gw(resilience=policy, fault_plan=plan)
+            for w in make_windows(5, seed=42):
+                gw.request(KEY, "a", w)
+                gw.clock.advance(0.02)
+            return gw.resilience.transitions()
+
+        first, second = run(), run()
+        assert first == second                     # bit-for-bit replay
+        assert len(first) >= 3
+
+    def test_probe_in_flight_degrades_second_request(self):
+        policy = ResiliencePolicy(failure_threshold=1, max_retries=0,
+                                  reset_timeout=0.01, serve_stale=False)
+        plan = FaultPlan().session_crash("a", at_dispatch=0)
+        gw = make_gw(resilience=policy, fault_plan=plan)
+        w0, w1, w2 = make_windows(3)
+        assert gw.request(KEY, "a", w0).status == "failed"
+        gw.clock.advance(0.02)
+        s1 = gw.submit(KEY, "a", w1)               # claims the probe slot
+        assert s1.status == "admitted"
+        s2 = gw.submit(KEY, "a", w2)               # slot taken: walk ladder
+        assert s2.status == "failed" and s2.reason == "probe_in_flight"
+        done = gw.flush()
+        assert [r.status for r in done] == ["ok"]
+        assert gw.resilience.breaker("a").state == CLOSED
+
+    def test_shed_probe_releases_the_slot(self):
+        policy = ResiliencePolicy(failure_threshold=1, max_retries=0,
+                                  reset_timeout=0.01, serve_stale=False)
+        plan = FaultPlan().session_crash("a", at_dispatch=0)
+        gw = make_gw(resilience=policy, fault_plan=plan)
+        w0, w1, w2 = make_windows(3)
+        gw.request(KEY, "a", w0)
+        gw.clock.advance(0.02)
+        # a probe with no deadline budget is shed by admission control...
+        s1 = gw.submit(KEY, "a", w1, deadline=gw.clock())
+        assert s1.status == "shed"
+        breaker = gw.resilience.breaker("a")
+        assert breaker.state == HALF_OPEN and not breaker.probe_in_flight
+        # ...and the released slot lets the next request probe
+        s2 = gw.submit(KEY, "a", w2)
+        assert s2.status == "admitted"
+        gw.flush()
+        assert breaker.state == CLOSED
+
+    def test_corrupted_cache_entry_is_recomputed(self):
+        plan = FaultPlan().store_corruption("a", at_insert=0)
+        gw = make_gw(fault_plan=plan, cache_ttl=60.0)
+        (w,) = make_windows(1)
+        r1 = gw.request(KEY, "a", w)
+        assert r1.status == "ok"                   # corruption hits the copy
+        r2 = gw.request(KEY, "a", w)               # integrity check: recompute
+        assert r2.status == "ok"
+        np.testing.assert_array_equal(r2.forecast.predictions,
+                                      r1.forecast.predictions)
+        assert gw.cache.stats.corruptions_detected == 1
+        r3 = gw.request(KEY, "a", w)               # clean reinsert: cache hit
+        assert r3.status == "cached"
+        np.testing.assert_array_equal(r3.forecast.predictions,
+                                      r1.forecast.predictions)
+
+
+# ======================================================================
+class TestHedging:
+    def hedging_gw(self, plan):
+        policy = ResiliencePolicy(hedge=True, hedge_latency_factor=2.0,
+                                  latency_blowout=30.0)
+        return make_gw(fallback=True, resilience=policy, fault_plan=plan)
+
+    def test_primary_wins_twin_is_discarded(self):
+        plan = FaultPlan().session_straggler("a", 5.0, start_dispatch=0,
+                                             end_dispatch=10)
+        gw = self.hedging_gw(plan)
+        w0, w1 = make_windows(2)
+        assert gw.request(KEY, "a", w0).status == "ok"   # seeds the EWMA
+        r = gw.request(KEY, "a", w1)               # degraded -> hedged
+        assert r.status == "ok" and r.hedged
+        np.testing.assert_array_equal(r.forecast.predictions,
+                                      expected(w1)[..., 0])
+        assert gw.flush() == []                    # losing twin is silent
+        assert gw.resilience.hedges == 1
+        assert gw.resilience.hedges_wasted == 1
+
+    def test_fallback_wins_when_primary_crashes(self):
+        plan = (FaultPlan().session_straggler("a", 5.0, start_dispatch=0,
+                                              end_dispatch=10)
+                .session_crash("a", at_dispatch=1))
+        gw = self.hedging_gw(plan)
+        w0, w1 = make_windows(2)
+        gw.request(KEY, "a", w0)
+        r = gw.request(KEY, "a", w1)               # primary dies mid-race
+        assert r.status == "degraded"
+        assert r.degraded_source == "fallback:b"
+        assert r.deployment == "a"                 # still the original ticket
+        np.testing.assert_array_equal(r.forecast.predictions,
+                                      expected(w1)[..., 0])
+        assert gw.resilience.hedges == 1
+        assert gw.resilience.hedges_wasted == 0
+        assert gw.resilience.retries == 0          # the twin covered it
+
+    def test_no_hedge_when_primary_is_healthy(self):
+        gw = self.hedging_gw(FaultPlan())
+        for w in make_windows(3):
+            assert gw.request(KEY, "a", w).status == "ok"
+        assert gw.resilience.hedges == 0
+
+
+# ======================================================================
+class TestCanaryRollback:
+    def serve_some(self, gw, n=2):
+        for w in make_windows(n, seed=9):
+            assert gw.request(KEY, "a", w).status == "ok"
+
+    def test_failing_canary_rolls_back_with_zero_drops(self):
+        gw = make_gw(cache_ttl=60.0)
+        dep = gw.deployments.get("a")
+        blue = dep.service.session
+        self.serve_some(gw)
+        record = gw.swap("a", DoomedSession(ToySession()), version="v2")
+        assert record.reason == "session_failure"
+        assert record.dropped == 0
+        assert record.failed_version == "v2"
+        assert record.restored_version == "v1"
+        assert dep.version == "v1"
+        assert dep.service.session is blue
+        assert gw.stats.rollbacks == 1 and gw.stats.swaps == 1
+        assert gw.resilience.rollbacks == [record]
+        # blue serves on, bitwise-identical to before the failed swap
+        (w,) = make_windows(1, seed=77)
+        r = gw.request(KEY, "a", w)
+        assert r.status == "ok" and r.version == "v1"
+        np.testing.assert_array_equal(r.forecast.predictions,
+                                      expected(w)[..., 0])
+
+    def test_non_finite_canary_rolls_back(self):
+        gw = make_gw()
+        self.serve_some(gw)
+        record = gw.swap("a", NaNSession(ToySession()), version="v2")
+        assert record.reason == "non_finite"
+        assert gw.deployments.get("a").version == "v1"
+
+    def test_healthy_swap_survives_its_canary(self):
+        gw = make_gw()
+        self.serve_some(gw)
+        record = gw.swap("a", ToySession(scale=3.0), version="v2")
+        assert record.new_version == "v2" and record.dropped == 0
+        assert gw.stats.rollbacks == 0
+        (w,) = make_windows(1, seed=5)
+        r = gw.request(KEY, "a", w)
+        np.testing.assert_array_equal(r.forecast.predictions,
+                                      expected(w, scale=3.0)[..., 0])
+
+    def test_no_canary_material_passes_trivially(self):
+        gw = make_gw()                             # nothing served yet
+        record = gw.swap("a", DoomedSession(ToySession()), version="v2")
+        assert record.new_version == "v2"          # a SwapRecord, not rollback
+        assert gw.stats.rollbacks == 0
+
+
+# ======================================================================
+class TestBuildGatewayResilience:
+    def test_fallback_routes_thread_through(self):
+        gw = build_gateway(
+            {"a": ToySession(), "b": ToySession()}, tenants=["ops"],
+            clock=ManualClock(), max_batch=4, service_time=service_time,
+            fallbacks={"a": "b"},
+            resilience=ResiliencePolicy(failure_threshold=1, max_retries=0),
+            fault_plan=FaultPlan().session_crash("a", at_dispatch=0))
+        key = gw.tenants.get("ops").api_key
+        (w,) = make_windows(1)
+        r = gw.request(key, "a", w)
+        assert r.status == "degraded"
+        assert r.degraded_source == "fallback:b"
+        desc = gw.describe()["resilience"]
+        assert desc["degraded_fallback"] == 1
+        assert desc["breakers"]["a"]["state"] == OPEN
+
+    def test_rejects_unknown_fallback(self):
+        with pytest.raises(ValueError, match="unknown"):
+            build_gateway({"a": ToySession()}, fallbacks={"a": "zzz"})
+
+    def test_rejects_self_fallback(self):
+        with pytest.raises(ValueError, match="own"):
+            build_gateway({"a": ToySession()}, fallbacks={"a": "a"})
