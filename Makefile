@@ -5,7 +5,7 @@ PY := PYTHONPATH=src python
 
 # Line-coverage ratchet for `make test-cov` (see ISSUE 5 / ci.yml): set to
 # the measured floor; raise it when coverage grows, never lower it.
-COV_FLOOR := 82
+COV_FLOOR := 83
 
 .PHONY: test test-cov chaos bench bench-quick bench-diff serve-bench serve-bench-quick serve-bench-diff dist-bench dist-bench-quick dist-bench-diff fault-bench fault-bench-quick fault-bench-diff gateway-bench gateway-bench-quick gateway-bench-diff gateway-chaos-bench-quick
 

@@ -55,7 +55,7 @@ from repro.api.scales import (
 )
 from repro.api import builders as _builders  # populate default registries
 from repro.api.builders import LoaderBundle, ModelContext, default_in_features
-from repro.api.spec import RunSpec, SHUFFLES, STRATEGIES
+from repro.api.spec import RunSpec, SHUFFLES, STRATEGIES, TRANSPORTS
 from repro.api.runner import RunArtifacts, RunResult, run
 from repro.api.serving import (
     SERVERS,
@@ -90,6 +90,7 @@ __all__ = [
     "RunSpec",
     "STRATEGIES",
     "SHUFFLES",
+    "TRANSPORTS",
     "RunResult",
     "RunArtifacts",
     "run",

@@ -27,7 +27,9 @@ from repro.runtime import (
     FaultPlan,
     FaultyTransport,
     ProcessGroup,
+    ProcessTransport,
     SimTransport,
+    SocketTransport,
     ThreadTransport,
 )
 from repro.training.ddp import DDPStrategy, DDPTrainer
@@ -194,19 +196,24 @@ def _build_ddp_trainer(spec: RunSpec, ctx: ModelContext,
     seed, the transport chosen by ``spec.transport`` ('sim' = sequential
     ranks with simulated cost accounting; 'thread' = one real thread per
     rank on per-rank replicas — the model builder is deterministic in
-    the seed, so replicas initialise identically), optionally wrapped in
-    a :class:`FaultyTransport` and configured for per-step
-    checkpointing.
+    the seed, so replicas initialise identically; 'process' / 'socket' =
+    one forked interpreter per rank, where the fork snapshot is the
+    replica), optionally wrapped in a :class:`FaultyTransport` and
+    configured for per-step checkpointing.
     """
     model = MODELS.get(spec.model)(ctx)
     trainable = [p for p in model.parameters() if p.requires_grad]
     optimizer = OPTIMIZERS.get(spec.optimizer)(trainable, spec.lr)
+    factory = None
     if spec.transport == "thread":
         base = ThreadTransport(spec.world_size)
         factory = lambda: MODELS.get(spec.model)(ctx)  # noqa: E731
+    elif spec.transport == "process":
+        base = ProcessTransport(spec.world_size)
+    elif spec.transport == "socket":
+        base = SocketTransport(spec.world_size)
     else:
         base = SimTransport(spec.world_size)
-        factory = None
     transport = base if plan is None else FaultyTransport(base, plan)
     return DDPTrainer(
         model, optimizer, ProcessGroup(transport), bundle.train, bundle.val,

@@ -33,8 +33,11 @@ SHUFFLES = ("global", "local", "batch")
 
 #: Rank-execution transports for distributed strategies: ``sim`` runs
 #: ranks sequentially with simulated time and byte accounting;
-#: ``thread`` runs one real thread per rank (measured wall time).
-TRANSPORTS = ("sim", "thread")
+#: ``thread`` runs one real thread per rank; ``process`` forks one real
+#: interpreter per rank with a zero-copy shared-memory data plane;
+#: ``socket`` forks ranks that report over TCP length-prefixed frames.
+#: All four train bitwise-identical curves.
+TRANSPORTS = ("sim", "thread", "process", "socket")
 
 
 @dataclass(frozen=True)
@@ -59,7 +62,9 @@ class RunSpec:
     transport:
         one of :data:`TRANSPORTS`; how distributed ranks execute
         (``sim`` = sequential + simulated cost accounting, ``thread`` =
-        one real thread per rank).  Must stay ``sim`` for ``single``.
+        one real thread per rank, ``process`` = forked interpreters over
+        shared memory, ``socket`` = forked interpreters over TCP).  Must
+        stay ``sim`` for ``single``.
     shuffle:
         DDP shuffle mode override (``None`` = the strategy's default).
     epochs:

@@ -4,6 +4,9 @@ Layering (bottom up):
 
 - :mod:`repro.runtime.transport` — where ranks run and what
   communication costs (``SimTransport`` / ``ThreadTransport``).
+- :mod:`repro.runtime.fabric` — real multi-interpreter fabrics:
+  ``ProcessTransport`` (forked ranks, zero-copy shared-memory data
+  plane) and ``SocketTransport`` (forked ranks over TCP frames).
 - :mod:`repro.runtime.collectives` — ring/tree collectives implemented
   once against the :class:`Transport` protocol.
 - :mod:`repro.runtime.buckets` — gradient bucketing for DDP all-reduce.
@@ -29,9 +32,11 @@ from repro.runtime.collectives import (
     point_to_point,
     reduce_scatter,
 )
+from repro.runtime.fabric import ProcessTransport, SocketTransport
 from repro.runtime.process_group import ProcessGroup, as_process_group
 from repro.runtime.transport import (
     CommStats,
+    MeasuredTransport,
     SimTransport,
     ThreadTransport,
     Transport,
@@ -41,6 +46,9 @@ __all__ = [
     "Transport",
     "SimTransport",
     "ThreadTransport",
+    "MeasuredTransport",
+    "ProcessTransport",
+    "SocketTransport",
     "CommStats",
     "FaultEvent",
     "FaultPlan",

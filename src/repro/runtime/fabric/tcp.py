@@ -1,0 +1,214 @@
+"""Socket fabric: forked ranks reporting over TCP, length-prefixed frames.
+
+Same fork-per-step execution model as the process fabric, but the data
+plane is a real byte stream: each child connects to the driver's
+listener, identifies itself with a hello frame, and after its step ships
+its registered output arrays (gradient buckets) plus a result frame —
+all :mod:`~repro.runtime.fabric.framing` frames behind u64 length
+prefixes.  ``host``/``port`` are configurable so the same wire format
+can span machines; the in-repo transport keeps driver and ranks on one
+host with forked children.
+"""
+
+from __future__ import annotations
+
+import socket
+import time
+import weakref
+from typing import Callable
+
+import numpy as np
+
+from repro.runtime.fabric import framing
+from repro.runtime.fabric.base import ChildHandle, ForkFabric, run_child
+from repro.runtime.transport import _check_rank
+from repro.utils.errors import CommunicatorError
+
+#: How long the driver waits for a dead child's connection to surface
+#: before declaring the rank frameless (it crashed before connecting).
+_ORPHAN_GRACE_SECONDS = 2.0
+
+
+def _send_frame(conn: socket.socket, frame: bytes) -> None:
+    conn.sendall(framing.prefixed(frame))
+
+
+class _Claimed:
+    """A connection that has said hello: its socket and parsed frames."""
+
+    def __init__(self, conn: socket.socket,
+                 assembler: framing.FrameAssembler, frames: list[bytes]):
+        self.conn = conn
+        self.assembler = assembler
+        self.frames = frames
+        self.eof = False
+
+    def pump(self) -> None:
+        """Drain whatever the kernel has buffered (non-blocking)."""
+        while not self.eof:
+            try:
+                chunk = self.conn.recv(1 << 16)
+            except BlockingIOError:
+                return
+            except OSError:
+                chunk = b""
+            if not chunk:
+                self.eof = True
+                self.conn.close()
+                return
+            self.frames += self.assembler.feed(chunk)
+
+
+class _SocketHandle(ChildHandle):
+    def __init__(self, rank: int, proc, transport: "SocketTransport"):
+        super().__init__(rank, proc)
+        self.transport = transport
+        self.claimed: _Claimed | None = None
+        self._death_seen: float | None = None
+
+    def poll(self) -> None:
+        if self.claimed is None:
+            self.claimed = self.transport._claimed.pop(self.rank, None)
+        if self.claimed is not None:
+            self.claimed.pump()
+        if self.proc.is_alive():
+            return
+        if self.claimed is None:
+            # The child may have connected just before dying; give the
+            # accept queue a moment before declaring it frameless.
+            if self._death_seen is None:
+                self._death_seen = time.perf_counter()
+            if time.perf_counter() - self._death_seen < _ORPHAN_GRACE_SECONDS:
+                return
+        elif not self.claimed.eof:
+            return
+        self.proc.join()
+        self._finalize()
+        self.finished = True
+
+    def _finalize(self) -> None:
+        if self.claimed is None:
+            return
+        outbox = self.transport._outbox.get(self.rank, [])
+        arrays: list[np.ndarray] = []
+        for raw in self.claimed.frames:
+            kind, value = framing.decode(raw)
+            if kind == framing.KIND_NDARRAY:
+                arrays.append(value)
+            else:
+                self.outcome = value  # the last object frame wins
+        if self.outcome is None:
+            return  # frameless death: arrays (if any) are discarded
+        if len(arrays) != len(outbox):
+            raise CommunicatorError(
+                f"rank {self.rank} shipped {len(arrays)} output arrays, "
+                f"expected {len(outbox)}")
+        for target, arr in zip(outbox, arrays):
+            if target.shape != arr.shape or target.dtype != arr.dtype:
+                raise CommunicatorError(
+                    f"rank {self.rank} output array mismatch: got "
+                    f"{arr.dtype}{arr.shape}, expected "
+                    f"{target.dtype}{target.shape}")
+            np.copyto(target, arr)
+
+    def abandon(self) -> None:
+        if self.claimed is not None:
+            self.claimed.conn.close()
+
+
+def _close_listener(listener: socket.socket) -> None:
+    try:
+        listener.close()
+    except OSError:
+        pass
+
+
+class SocketTransport(ForkFabric):
+    """TCP fabric: forked ranks, per-peer connections to the driver.
+
+    Defaults to loopback with an ephemeral port; pass ``host``/``port``
+    to pin the listener (the wire format itself is machine-agnostic).
+    Arrays registered through :meth:`attach_rank_buffers` are the rank's
+    *outbox*: the child sends their post-step contents back as ndarray
+    frames and the driver copies them into the originals, so callers see
+    the same write-through semantics as the shm fabric.
+    """
+
+    def __init__(self, world_size: int, *, parallel: bool = True,
+                 max_inflight: int | None = None,
+                 host: str = "127.0.0.1", port: int = 0):
+        super().__init__(world_size, parallel=parallel,
+                         max_inflight=max_inflight)
+        self._listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        self._listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        self._listener.bind((host, int(port)))
+        self._listener.listen(world_size)
+        self._listener.setblocking(False)
+        self.address: tuple[str, int] = self._listener.getsockname()[:2]
+        self._outbox: dict[int, list[np.ndarray]] = {}
+        self._unclaimed: list[_Claimed] = []
+        self._claimed: dict[int, _Claimed] = {}
+        self._finalizer = weakref.finalize(
+            self, _close_listener, self._listener)
+
+    # -- data plane -----------------------------------------------------
+    def attach_rank_buffers(self, rank: int, buffers: list) -> list:
+        """Register a rank's output arrays; children ship them back."""
+        _check_rank(self.world_size, rank)
+        self._outbox[rank] = list(buffers)
+        return list(buffers)
+
+    # -- control plane --------------------------------------------------
+    def _poll_fabric(self) -> None:
+        """Accept fresh connections and route them to ranks by hello."""
+        while True:
+            try:
+                conn, _ = self._listener.accept()
+            except (BlockingIOError, OSError):
+                break
+            conn.setblocking(False)
+            self._unclaimed.append(
+                _Claimed(conn, framing.FrameAssembler(), []))
+        for pending in list(self._unclaimed):
+            pending.pump()
+            if pending.frames:
+                kind, hello = framing.decode(pending.frames.pop(0))
+                if kind != framing.KIND_OBJECT or hello[0] != "hello":
+                    raise CommunicatorError(
+                        f"peer did not open with a hello frame: {hello!r}")
+                self._claimed[int(hello[1])] = pending
+                self._unclaimed.remove(pending)
+            elif pending.eof:
+                self._unclaimed.remove(pending)  # died before hello
+
+    def _spawn(self, rank: int, fn: Callable[[int], object]) -> ChildHandle:
+        address = self.address
+        outbox = self._outbox.get(rank, [])
+
+        def child() -> None:  # pragma: no cover — runs in the forked child
+            conn = socket.create_connection(address)
+            try:
+                conn.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+            except OSError:
+                pass
+            _send_frame(conn, framing.encode_object(("hello", rank)))
+
+            def deliver(outcome: tuple) -> None:
+                for arr in outbox:
+                    _send_frame(conn, framing.encode_ndarray(arr))
+                _send_frame(conn, framing.encode_object(outcome))
+                conn.close()
+            run_child(rank, fn, deliver)
+
+        proc = self._ctx.Process(target=child, name=f"repro-rank-{rank}",
+                                 daemon=True)
+        proc.start()
+        return _SocketHandle(rank, proc, self)
+
+    def shutdown(self) -> None:
+        """Close the listener and any stray connections (idempotent)."""
+        for pending in self._unclaimed + list(self._claimed.values()):
+            pending.conn.close()
+        self._unclaimed = []
+        self._claimed = {}
+        _close_listener(self._listener)

@@ -343,6 +343,9 @@ class FaultyTransport:
     def begin_step(self, step: int) -> None:
         """Trainer hook: the global step about to execute."""
         self._step = int(step)
+        inner_begin = getattr(self.inner, "begin_step", None)
+        if inner_begin is not None:
+            inner_begin(step)
 
     def _maybe_crash(self, rank: int | None) -> None:
         for i, ev in self._events:
@@ -377,7 +380,25 @@ class FaultyTransport:
         return self.inner.elapsed_breakdown()
 
     def run_ranks(self, fn, *, parallel: bool = True) -> list:
-        return self.inner.run_ranks(fn, parallel=parallel)
+        try:
+            return self.inner.run_ranks(fn, parallel=parallel)
+        except RankFailure as failure:
+            # On a process-isolated fabric the crash fired in a child
+            # whose copy of ``fired`` died with it; reconcile here so a
+            # recovery loop does not refire the same event forever.
+            for i, ev in self._events:
+                if (ev.kind == "rank_crash" and i not in self.fired
+                        and ev.rank == failure.rank
+                        and self._step >= ev.step):
+                    self.fired.add(i)
+                    break
+            raise
+
+    def __getattr__(self, name: str):
+        # Capability passthrough (attach_rank_buffers, isolated_ranks,
+        # address, ...): trainers probe the transport with getattr, and
+        # the wrapper must not mask what the wrapped fabric offers.
+        return getattr(self.inner, name)
 
     def advance_compute(self, rank: int, seconds: float) -> None:
         self._maybe_crash(rank)

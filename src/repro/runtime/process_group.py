@@ -4,8 +4,10 @@ Trainers, the serving shards and the performance model all talk to a
 ``ProcessGroup`` — collectives, point-to-point fetches, per-rank compute
 charging, rank execution, and :class:`~repro.runtime.transport.CommStats`
 traffic accounting by category — while the transport behind it decides
-whether ranks are simulated (:meth:`ProcessGroup.sim`) or real threads
-(:meth:`ProcessGroup.threads`).  Method names match the historical
+whether ranks are simulated (:meth:`ProcessGroup.sim`), real threads
+(:meth:`ProcessGroup.threads`), forked processes on a shared-memory
+data plane (:meth:`ProcessGroup.processes`) or forked processes over
+TCP (:meth:`ProcessGroup.sockets`).  Method names match the historical
 ``SimCommunicator`` surface, so the deprecated shim in
 :mod:`repro.distributed.comm` is nothing but a constructor.
 """
@@ -48,6 +50,22 @@ class ProcessGroup:
                 parallel: bool = True) -> "ProcessGroup":
         """Ranks on real threads; measured wall time, no simulation."""
         return cls(ThreadTransport(world_size, parallel=parallel))
+
+    @classmethod
+    def processes(cls, world_size: int, *, parallel: bool = True,
+                  max_inflight: int | None = None) -> "ProcessGroup":
+        """Ranks as forked processes; zero-copy shm data plane."""
+        from repro.runtime.fabric import ProcessTransport
+        return cls(ProcessTransport(world_size, parallel=parallel,
+                                    max_inflight=max_inflight))
+
+    @classmethod
+    def sockets(cls, world_size: int, *, parallel: bool = True,
+                host: str = "127.0.0.1", port: int = 0) -> "ProcessGroup":
+        """Ranks as forked processes reporting over TCP frames."""
+        from repro.runtime.fabric import SocketTransport
+        return cls(SocketTransport(world_size, parallel=parallel,
+                                   host=host, port=port))
 
     # -- introspection --------------------------------------------------
     @property

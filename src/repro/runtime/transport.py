@@ -220,77 +220,33 @@ class SimTransport:
         }
 
 
-class ThreadTransport:
-    """Real-thread fabric: one persistent worker thread per rank.
+class MeasuredTransport:
+    """Shared accounting base for fabrics that run on real hardware.
 
-    :meth:`run_ranks` dispatches each rank's callable to its worker and
-    joins them all (barrier semantics).  The heavy NumPy kernels in a
-    training step release the GIL, so on a multi-core machine rank steps
-    genuinely overlap — the first actually-parallel multi-rank execution
-    in this repository.  Communication is shared-memory data movement
-    (performed by :mod:`repro.runtime.collectives`); this transport
-    records its bytes and measured wall seconds instead of simulated
-    time.
-
-    Pass ``parallel=False`` (or call ``run_ranks(..., parallel=False)``)
-    to force sequential rank execution — the baseline the distributed
-    benchmark compares against.
+    The thread, process and socket fabrics all answer the *cost* half of
+    the :class:`Transport` protocol the same way: communication is real
+    data movement, so collectives/p2p record their bytes and measured
+    wall seconds instead of simulated time, and :attr:`now` is the wall
+    clock since construction.  Subclasses only decide *where ranks run*
+    (:meth:`run_ranks`).
     """
 
-    def __init__(self, world_size: int, *, parallel: bool = True):
+    def __init__(self, world_size: int):
         if world_size < 1:
             raise ValueError("world_size must be >= 1")
         self.world_size = world_size
-        self.parallel = bool(parallel)
         self.stats = CommStats()
         self.compute_time = np.zeros(world_size)
         self.comm_time = np.zeros(world_size)
-        self._pool: ThreadPoolExecutor | None = None
         self._t0 = time.perf_counter()
-
-    def _ensure_pool(self) -> ThreadPoolExecutor:
-        if self._pool is None:
-            self._pool = ThreadPoolExecutor(
-                max_workers=self.world_size,
-                thread_name_prefix="repro-rank")
-        return self._pool
 
     # -- rank execution -------------------------------------------------
     def run_ranks(self, fn: Callable[[int], object], *,
                   parallel: bool = True) -> list:
-        """Run ``fn(rank)`` on every rank; join before returning.
-
-        Results are ordered by rank.  A raising rank propagates its
-        exception after all ranks have been joined, so no worker is left
-        mid-step.
-        """
-        def timed(rank: int):
-            t0 = time.perf_counter()
-            try:
-                return fn(rank)
-            finally:
-                self.compute_time[rank] += time.perf_counter() - t0
-
-        if not (self.parallel and parallel) or self.world_size == 1:
-            return [timed(rank) for rank in range(self.world_size)]
-        futures = [self._ensure_pool().submit(timed, rank)
-                   for rank in range(self.world_size)]
-        # Two passes: wait for everything first (the join barrier), then
-        # raise the lowest-rank failure with no rank still mid-step.  A
-        # failed step also tears the worker pool down — otherwise the
-        # rank threads outlive the exception with nobody left to call
-        # shutdown(), and an interpreter exit blocks joining them.  The
-        # pool is rebuilt lazily, so a recovered trainer can keep using
-        # this transport.
-        done = [f.exception() for f in futures]
-        for exc in done:
-            if exc is not None:
-                self.shutdown()
-                raise exc
-        return [f.result() for f in futures]
+        raise NotImplementedError
 
     def advance_compute(self, rank: int, seconds: float) -> None:
-        """Simulated-compute charges are meaningless on real threads.
+        """Simulated-compute charges are meaningless on real fabrics.
 
         Accepted (and ignored) so trainers can charge unconditionally;
         measured per-rank time is attributed by :meth:`run_ranks`.
@@ -338,6 +294,70 @@ class ThreadTransport:
             "comm": float(self.comm_time.mean()),
             "wall": self.now,
         }
+
+
+class ThreadTransport(MeasuredTransport):
+    """Real-thread fabric: one persistent worker thread per rank.
+
+    :meth:`run_ranks` dispatches each rank's callable to its worker and
+    joins them all (barrier semantics).  The heavy NumPy kernels in a
+    training step release the GIL, so on a multi-core machine rank steps
+    genuinely overlap — the first actually-parallel multi-rank execution
+    in this repository.  Communication is shared-memory data movement
+    (performed by :mod:`repro.runtime.collectives`); this transport
+    records its bytes and measured wall seconds instead of simulated
+    time.
+
+    Pass ``parallel=False`` (or call ``run_ranks(..., parallel=False)``)
+    to force sequential rank execution — the baseline the distributed
+    benchmark compares against.
+    """
+
+    def __init__(self, world_size: int, *, parallel: bool = True):
+        super().__init__(world_size)
+        self.parallel = bool(parallel)
+        self._pool: ThreadPoolExecutor | None = None
+
+    def _ensure_pool(self) -> ThreadPoolExecutor:
+        if self._pool is None:
+            self._pool = ThreadPoolExecutor(
+                max_workers=self.world_size,
+                thread_name_prefix="repro-rank")
+        return self._pool
+
+    # -- rank execution -------------------------------------------------
+    def run_ranks(self, fn: Callable[[int], object], *,
+                  parallel: bool = True) -> list:
+        """Run ``fn(rank)`` on every rank; join before returning.
+
+        Results are ordered by rank.  A raising rank propagates its
+        exception after all ranks have been joined, so no worker is left
+        mid-step.
+        """
+        def timed(rank: int):
+            t0 = time.perf_counter()
+            try:
+                return fn(rank)
+            finally:
+                self.compute_time[rank] += time.perf_counter() - t0
+
+        if not (self.parallel and parallel) or self.world_size == 1:
+            return [timed(rank) for rank in range(self.world_size)]
+        futures = [self._ensure_pool().submit(timed, rank)
+                   for rank in range(self.world_size)]
+        # Two passes: wait for everything first (the join barrier), then
+        # raise the lowest-rank failure with no rank still mid-step.  A
+        # failed step also tears the worker pool down — otherwise the
+        # rank threads outlive the exception with nobody left to call
+        # shutdown(), and an interpreter exit blocks joining them.  The
+        # pool is rebuilt lazily, so a recovered trainer can keep using
+        # this transport.
+        done = [f.exception() for f in futures]
+        for exc in done:
+            if exc is not None:
+                self.shutdown()
+                raise exc
+        return [f.result() for f in futures]
 
     def shutdown(self) -> None:
         """Tear down the worker pool (idempotent)."""

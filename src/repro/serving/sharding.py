@@ -363,9 +363,24 @@ class ShardedSession:
             self.comm.fetch(0, w.shard_id, staged.nbytes,
                             category="serve-request")
         out = np.empty((b, self.horizon, self.num_nodes, 1), np.float32)
-        for w in self.workers:
-            shard_out = self._forward(staged)
-            out[:, :, w.owned] = shard_out[:, :, w.owned]
+        if (len(self.workers) == self.comm.world_size
+                and getattr(self.comm.transport, "isolated_ranks", False)):
+            # Process-isolated fabric with one rank per shard: forwards
+            # run in real per-shard interpreters and each rank ships home
+            # only its owned rows.  (After a repartition failover the
+            # worker count can drop below the fixed world size; the
+            # inline path below then keeps serving correct.)
+            def shard_forward(rank: int) -> np.ndarray:
+                w = self.workers[rank]
+                return self._forward(staged)[:, :, w.owned]
+
+            shard_rows = self.comm.run_ranks(shard_forward)
+            for w, rows in zip(self.workers, shard_rows):
+                out[:, :, w.owned] = rows
+        else:
+            for w in self.workers:
+                shard_out = self._forward(staged)
+                out[:, :, w.owned] = shard_out[:, :, w.owned]
         self.requests_served += b
         return out
 

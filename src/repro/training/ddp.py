@@ -176,10 +176,21 @@ class DDPTrainer:
                                          bucket_cap_mb=bucket_cap_mb)
         self._grad_bufs = [self.bucketer.make_buffers()
                            for _ in range(self.world_size)]
+        # Process-isolated fabrics adopt each rank's bucket buffers (e.g.
+        # re-backing them on shared memory) so gradients written inside a
+        # rank child land where the driver reduces from.
+        attach = getattr(self.comm.transport, "attach_rank_buffers", None)
+        if attach is not None:
+            self._grad_bufs = [list(attach(rank, bufs))
+                               for rank, bufs in enumerate(self._grad_bufs)]
         self._replicas: list[STModel] | None = None
         self._rank_params: list[list] = [optimizer.params] * self.world_size
         self._rank_loaders = [self.train_loader] * self.world_size
-        self._parallel = False
+        # Fabrics whose ranks own separate address spaces may always run
+        # steps concurrently: the fork snapshot is the per-rank replica,
+        # so not even a shared model can race.
+        self._parallel = (self.world_size > 1 and getattr(
+            self.comm.transport, "isolated_ranks", False))
         if model_factory is not None and self.world_size > 1:
             self._build_replicas(model_factory)
 

@@ -85,6 +85,11 @@ def train_with_recovery(make_trainer: Callable[[], DDPTrainer],
         except RankFailure as failure:
             if isinstance(transport, FaultyTransport):
                 fired |= transport.fired
+            # Abandoned attempts must not leak fabric resources (shm
+            # pools, listener sockets) across what may be many restarts.
+            shutdown = getattr(transport, "shutdown", None)
+            if shutdown is not None:
+                shutdown()
             report.restarts += 1
             report.failures.append({"rank": failure.rank,
                                     "step": failure.step})

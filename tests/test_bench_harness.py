@@ -119,22 +119,35 @@ class TestDistBenchCLI:
         ar = scen["allreduce_bucketed_w4"]
         assert ar["sim_speedup"] > 1.0           # bucketing must win
         assert ar["buckets"] < ar["num_tensors"]
-        th = scen["thread_scaling_w4"]
-        assert th["curve_bitwise_equal"] is True  # thread == sequential
-        assert th["thread_steps_per_sec"] > 0
-        assert th["cores"] >= 1
+        assert data["distributed"]["config"]["cores_detected"] >= 1
+        for name in ("thread_scaling_w4", "process_scaling_w4"):
+            sc = scen[name]
+            assert sc["curve_bitwise_equal"] is True  # parallel == sequential
+            assert sc["par_steps_per_sec"] > 0
+            assert sc["cores"] >= 1
+            # Quick mode never applies the wall-speedup gate.
+            assert sc["speedup_gate_applied"] is False
+        assert "socket_scaling_w4" not in scen  # full mode only
 
     def test_diff_and_gate(self, dist_path, capsys):
         rc = dist_bench_main(["--diff", str(dist_path), str(dist_path)])
         assert rc == 0
-        assert "thread_steps_per_sec" in capsys.readouterr().out
+        out = capsys.readouterr().out
+        assert "thread_scaling_steps_per_sec" in out
+        assert "process_scaling_steps_per_sec" in out
         section = load_snapshot(dist_path)["distributed"]
         # The section's own gates must hold for a freshly measured run.
         assert check_regression(section, 1.5) == []
-        # A broken parity bit must trip the gate.
-        bad = json.loads(json.dumps(section))
-        bad["scenarios"]["thread_scaling_w4"]["curve_bitwise_equal"] = False
-        assert check_regression(bad, 1.5)
+        # A broken parity bit must trip the gate — on any fabric.
+        for name in ("thread_scaling_w4", "process_scaling_w4"):
+            bad = json.loads(json.dumps(section))
+            bad["scenarios"][name]["curve_bitwise_equal"] = False
+            assert check_regression(bad, 1.5)
+        # A gated scenario below the speedup floor must trip it too.
+        slow = json.loads(json.dumps(section))
+        slow["scenarios"]["process_scaling_w4"]["speedup_gate_applied"] = True
+        slow["scenarios"]["process_scaling_w4"]["wall_speedup"] = 1.0
+        assert check_regression(slow, 1.5)
 
     def test_validate_rejects_junk(self):
         with pytest.raises(ValueError):

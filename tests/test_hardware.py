@@ -161,3 +161,34 @@ class TestFormatBytes:
     ])
     def test_formats(self, n, expected):
         assert format_bytes(n) == expected
+
+
+class TestUsableCores:
+    def test_positive_int_and_bounded_by_machine(self):
+        from repro.hardware import usable_cores
+
+        n = usable_cores()
+        assert isinstance(n, int) and n >= 1
+        import os
+        assert n <= (os.cpu_count() or n)
+
+    def test_prefers_affinity_mask(self, monkeypatch):
+        from repro.hardware import cores
+
+        monkeypatch.setattr(cores.os, "sched_getaffinity",
+                            lambda pid: {0, 2, 5}, raising=False)
+        assert cores.usable_cores() == 3
+
+    def test_falls_back_to_cpu_count(self, monkeypatch):
+        from repro.hardware import cores
+
+        monkeypatch.delattr(cores.os, "sched_getaffinity", raising=False)
+        monkeypatch.setattr(cores.os, "cpu_count", lambda: 6)
+        assert cores.usable_cores() == 6
+
+    def test_never_below_one(self, monkeypatch):
+        from repro.hardware import cores
+
+        monkeypatch.delattr(cores.os, "sched_getaffinity", raising=False)
+        monkeypatch.setattr(cores.os, "cpu_count", lambda: None)
+        assert cores.usable_cores() == 1
