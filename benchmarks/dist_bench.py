@@ -125,6 +125,13 @@ def bench_allreduce(*, world: int = 4, quick: bool = False) -> dict:
         "bucketed_wall_seconds": bucketed_wall,
         "wall_speedup": (per_tensor_wall / bucketed_wall
                          if bucketed_wall else float("inf")),
+        # The claim this scenario gates is the *simulated* gradient time
+        # (ring latency per tensor vs per bucket).  The wall numbers time
+        # in-process memcpy of the same bytes plus the bucketer's pack
+        # pass — on a single-core box that extra pass can make the wall
+        # ratio dip below 1.0 without contradicting the claim.  Flagged
+        # so snapshot readers and diff tooling don't misread it.
+        "wall_informational": True,
     }
 
 
@@ -380,7 +387,8 @@ def _format_section(section: dict) -> str:
         f"  allreduce_bucketed_w4: {ar['num_tensors']} tensors -> "
         f"{ar['buckets']} bucket(s), sim {ar['per_tensor_sim_seconds'] * 1e3:.3f}"
         f" -> {ar['bucketed_sim_seconds'] * 1e3:.3f} ms  "
-        f"x{ar['sim_speedup']:.2f} (wall x{ar['wall_speedup']:.2f})",
+        f"x{ar['sim_speedup']:.2f} (wall x{ar['wall_speedup']:.2f}"
+        f"{', informational' if ar.get('wall_informational') else ''})",
     ]
     for name, scen in sorted(_scaling_scenarios(section).items()):
         gate = ("gated" if scen["speedup_gate_applied"] else "gate skipped")

@@ -21,6 +21,7 @@ import sys
 from pathlib import Path
 
 from repro.profiling.bench import (
+    check_kernel_gates,
     collect,
     diff_benches,
     format_diff,
@@ -28,6 +29,25 @@ from repro.profiling.bench import (
     next_bench_path,
     write_snapshot,
 )
+
+
+def _print_kernels(k: dict) -> None:
+    """Render the v2 kernels section: per-backend numbers + gate states."""
+    print(f"  kernel backends: {', '.join(k['backends_available'])} "
+          f"(default {k['default_backend']})")
+    for backend, t in k["training"].items():
+        print(f"    {backend}: {t['steps_per_sec']:.1f} steps/s")
+    cs = k["compiled_speedup"]
+    if cs["applied"]:
+        print(f"    compiled speedup x{cs['speedup']:.2f} "
+              f"(gate x{cs['threshold']}), parity drift "
+              f"{k['parity']['max_drift']:.2e}")
+    else:
+        print(f"    compiled gate skipped: {cs['reason']}")
+    mp = k["mixed_precision"]
+    print(f"    f16 storage: resident x{mp['resident_ratio']:.2f} smaller "
+          f"(gate x{mp['floor']}), curve drift vs f32 "
+          f"{mp['f16_curve_drift_vs_f32']:.2e} (informational)")
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -73,7 +93,11 @@ def main(argv: list[str] | None = None) -> int:
           f"peak {train['peak_bytes']} B")
     for m in data["micro"]:
         print(f"  {m['name']}: {m['ops_per_sec']:.1f} ops/s")
-    return 0
+    _print_kernels(data["kernels"])
+    failures = check_kernel_gates(data["kernels"])
+    for f in failures:
+        print(f"KERNEL GATE: {f}", file=sys.stderr)
+    return 1 if failures else 0
 
 
 if __name__ == "__main__":

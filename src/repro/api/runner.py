@@ -18,6 +18,7 @@ import time
 from dataclasses import dataclass, field
 from typing import Any
 
+from repro import kernels
 from repro.api.builders import LoaderBundle, ModelContext, default_in_features
 from repro.api.registry import BATCHINGS, DATASETS, MODELS, OPTIMIZERS
 from repro.api.scales import Scale, get_scale
@@ -148,27 +149,31 @@ def run(spec: RunSpec, *, scale: Scale | None = None,
                        hidden_dim=scale.hidden_dim, seed=spec.seed)
     epochs = spec.epochs if spec.epochs is not None else scale.epochs
     restarts = 0
-    if spec.strategy == "single":
-        model = MODELS.get(spec.model)(ctx)
-        trainable = [p for p in model.parameters() if p.requires_grad]
-        optimizer = OPTIMIZERS.get(spec.optimizer)(trainable, spec.lr)
-        trainer = Trainer(model, optimizer, bundle.train, bundle.val,
-                          scaler=bundle.scaler, seed=spec.seed)
-        history = trainer.fit(epochs, verbose=verbose)
-    elif spec.faults:
-        # Chaos scenario: inject the scheduled faults through a
-        # FaultyTransport and train with checkpoint/restart recovery.
-        # Every restart rebuilds model + optimizer from the seed and
-        # resumes from the last per-step checkpoint, so the finished
-        # curve is bitwise identical to a fault-free run.
-        trainer, history, report = _run_with_faults(
-            spec, ctx, bundle, epochs, verbose=verbose)
-        model, optimizer = trainer.model, trainer.optimizer
-        restarts = report.restarts
-    else:
-        trainer = _build_ddp_trainer(spec, ctx, bundle)
-        model, optimizer = trainer.model, trainer.optimizer
-        history = trainer.fit(epochs, verbose=verbose)
+    # Model construction and training dispatch through the kernel backend
+    # the spec names ("auto" keeps the process default, i.e. numpy unless
+    # REPRO_KERNEL_BACKEND overrides it).
+    with kernels.use_backend(spec.backend):
+        if spec.strategy == "single":
+            model = MODELS.get(spec.model)(ctx)
+            trainable = [p for p in model.parameters() if p.requires_grad]
+            optimizer = OPTIMIZERS.get(spec.optimizer)(trainable, spec.lr)
+            trainer = Trainer(model, optimizer, bundle.train, bundle.val,
+                              scaler=bundle.scaler, seed=spec.seed)
+            history = trainer.fit(epochs, verbose=verbose)
+        elif spec.faults:
+            # Chaos scenario: inject the scheduled faults through a
+            # FaultyTransport and train with checkpoint/restart recovery.
+            # Every restart rebuilds model + optimizer from the seed and
+            # resumes from the last per-step checkpoint, so the finished
+            # curve is bitwise identical to a fault-free run.
+            trainer, history, report = _run_with_faults(
+                spec, ctx, bundle, epochs, verbose=verbose)
+            model, optimizer = trainer.model, trainer.optimizer
+            restarts = report.restarts
+        else:
+            trainer = _build_ddp_trainer(spec, ctx, bundle)
+            model, optimizer = trainer.model, trainer.optimizer
+            history = trainer.fit(epochs, verbose=verbose)
     runtime = time.perf_counter() - t0
 
     return RunResult(

@@ -26,7 +26,10 @@ from __future__ import annotations
 
 from typing import Any, Callable
 
+import numpy as np
+
 from repro.api.builders import ModelContext, default_in_features
+from repro.kernels.precision import resolve_store_dtype
 from repro.api.registry import MODELS, Registry
 from repro.api.scales import get_scale
 from repro.api.spec import RunSpec
@@ -48,8 +51,15 @@ def list_servers() -> list[str]:
 @SERVERS.register("local")
 def _build_local_session(model, scaler, dataset, spec, *, max_batch: int = 32,
                          store_capacity: int | None = None,
+                         store_dtype="float32",
                          **_ignored) -> ModelSession:
-    """Single-worker session with an attached sliding-window store."""
+    """Single-worker session with an attached sliding-window store.
+
+    ``store_dtype`` sets the feature-store ring precision
+    (``"float16"`` halves the resident serving footprint; compute stays
+    float32 — windows materialise into the session's float32 staging
+    buffers).
+    """
     # Chaos knobs only make sense with shard workers to kill; swallowing
     # them here would report a vacuously perfect fault-free "chaos" run.
     for knob in ("fault_plan", "num_standby"):
@@ -60,7 +70,8 @@ def _build_local_session(model, scaler, dataset, spec, *, max_batch: int = 32,
     if scaler is not None and dataset is not None:
         session.attach_store(FeatureStore.for_dataset(
             dataset, scaler,
-            capacity=store_capacity or 4 * session.horizon))
+            capacity=store_capacity or 4 * session.horizon,
+            dtype=resolve_store_dtype(store_dtype) or np.float32))
     return session
 
 
@@ -69,6 +80,7 @@ def _build_sharded_session(model, scaler, dataset, spec, *,
                            max_batch: int = 32, num_shards: int = 2,
                            receptive_hops: int | None = None,
                            store_capacity: int | None = None,
+                           store_dtype="float32",
                            num_standby: int = 0, fault_plan=None,
                            **_ignored) -> ShardedSession:
     """Partitioned multi-worker session with halo-exchange accounting.
@@ -85,6 +97,7 @@ def _build_sharded_session(model, scaler, dataset, spec, *,
                           num_shards=num_shards, spec=spec,
                           max_batch=max_batch, receptive_hops=receptive_hops,
                           store_capacity=store_capacity,
+                          store_dtype=store_dtype,
                           num_standby=num_standby, fault_plan=fault_plan,
                           add_time_feature=dataset.spec.domain == "traffic")
 

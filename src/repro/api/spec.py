@@ -69,6 +69,13 @@ class RunSpec:
         DDP shuffle mode override (``None`` = the strategy's default).
     epochs:
         override of the scale preset's epoch budget (``None`` = preset).
+    backend:
+        compute-kernel backend for the training hot path: ``"auto"``
+        (the process default — numpy unless ``REPRO_KERNEL_BACKEND``
+        says otherwise) or a name from
+        :func:`repro.kernels.available_backends`.  The numpy backend is
+        bit-exact with the seed implementation; compiled backends are
+        parity-gated at 1e-6.
     faults:
         optional chaos schedule: a tuple of encoded
         :class:`~repro.runtime.faults.FaultEvent` strings (e.g.
@@ -93,6 +100,7 @@ class RunSpec:
     epochs: int | None = None
     transport: str = "sim"
     faults: tuple | None = None
+    backend: str = "auto"
 
     # ------------------------------------------------------------------
     def __post_init__(self):
@@ -136,6 +144,10 @@ class RunSpec:
         if self.strategy == "single" and self.transport != "sim":
             raise ValueError("strategy 'single' has no rank execution to "
                              "distribute; transport must stay 'sim'")
+        if self.backend != "auto":
+            from repro import kernels
+
+            kernels.get_backend(self.backend)  # loud on unknown/unavailable
         if self.faults is not None:
             # Normalise (JSON round-trips tuples as lists) then validate
             # by actually parsing the plan — a typo'd event fails here,

@@ -8,10 +8,15 @@ every backward — which profiling shows dominates small-scale training.
 
 This module keeps a bounded cache of *prepared* supports: the CSR arrays
 cast to the compute dtype plus the precomputed CSR transpose.  The actual
-product is computed by scipy's C kernel (``csr_matvecs``) directly into a
-caller-provided output buffer, skipping the wrapper entirely; when the
-private kernel is unavailable the code transparently falls back to the
-public operator.
+product is dispatched through :mod:`repro.kernels` — the numpy backend
+runs scipy's C kernel (``csr_matvecs``) directly into a caller-provided
+output buffer, and compiled backends substitute their own node-parallel
+kernels with identical accumulation order.
+
+The cache is bounded on two axes: at most ``_PREPARED_MAX`` distinct
+support matrices (FIFO, like the api-layer caches), and at most
+``_PREPARED_DTYPES_MAX`` dtypes per matrix so per-support entries cannot
+grow without bound when a caller alternates compute dtypes.
 """
 
 from __future__ import annotations
@@ -19,12 +24,7 @@ from __future__ import annotations
 import numpy as np
 import scipy.sparse as sp
 
-try:  # scipy's C kernel: csr_matvecs(M, N, n_vecs, indptr, indices, data, x, y)
-    from scipy.sparse import _sparsetools as _st
-    _HAVE_CSR_MATVECS = hasattr(_st, "csr_matvecs")
-except ImportError:  # pragma: no cover - depends on scipy build
-    _st = None
-    _HAVE_CSR_MATVECS = False
+from repro import kernels
 
 
 class PreparedCSR:
@@ -57,18 +57,10 @@ class PreparedCSR:
         """``out[:] = A @ x`` for C-contiguous 2-D ``x``; no allocation.
 
         ``x`` is ``[n, v]``, ``out`` is ``[m, v]``; both must match the
-        prepared dtype (the C kernel is monomorphic).
+        prepared dtype (the kernels are monomorphic).  Dispatches to the
+        active :mod:`repro.kernels` backend.
         """
-        if _HAVE_CSR_MATVECS and x.flags.c_contiguous and \
-                out.flags.c_contiguous and x.dtype == self.data.dtype \
-                and out.dtype == self.data.dtype:
-            out[...] = 0
-            _st.csr_matvecs(self.shape[0], self.shape[1], x.shape[1],
-                            self.indptr, self.indices, self.data,
-                            x.reshape(-1), out.reshape(-1))
-            return out
-        np.copyto(out, self.csr @ x, casting="unsafe")
-        return out
+        return kernels.active_backend().csr_matmul_out(self, x, out)
 
     def matmul(self, x: np.ndarray) -> np.ndarray:
         """``A @ x`` into a fresh array (for outputs that must be owned)."""
@@ -76,24 +68,32 @@ class PreparedCSR:
         return self.matmul_out(x, out)
 
 
-#: Prepared-support memo.  Keyed by (id(matrix), dtype); each value keeps a
-#: strong reference to its source matrix so an id cannot be recycled while
-#: its entry is alive.  Bounded FIFO like the api-layer caches.
-_PREPARED: dict[tuple[int, str], tuple[sp.spmatrix, PreparedCSR]] = {}
-_PREPARED_MAX = 64
+#: Prepared-support memo.  Keyed by id(matrix) -> (matrix, {dtype: prepared});
+#: each value keeps a strong reference to its source matrix so an id cannot
+#: be recycled while its entry is alive.
+_PREPARED: dict[int, tuple[sp.spmatrix, dict[str, PreparedCSR]]] = {}
+_PREPARED_MAX = 64        # distinct support matrices (FIFO)
+_PREPARED_DTYPES_MAX = 2  # dtypes kept per matrix (f32 + f64 in practice)
 
 
 def prepared_csr(matrix: sp.spmatrix, dtype) -> PreparedCSR:
     """Cached :class:`PreparedCSR` for ``matrix`` in ``dtype``."""
     dtype = np.dtype(dtype)
-    key = (id(matrix), dtype.str)
-    entry = _PREPARED.get(key)
+    entry = _PREPARED.get(id(matrix))
     if entry is not None and entry[0] is matrix:
-        return entry[1]
-    if len(_PREPARED) >= _PREPARED_MAX:
-        _PREPARED.pop(next(iter(_PREPARED)))
+        by_dtype = entry[1]
+        prepared = by_dtype.get(dtype.str)
+        if prepared is not None:
+            return prepared
+    else:
+        if len(_PREPARED) >= _PREPARED_MAX:
+            _PREPARED.pop(next(iter(_PREPARED)))
+        by_dtype = {}
+        _PREPARED[id(matrix)] = (matrix, by_dtype)
+    while len(by_dtype) >= _PREPARED_DTYPES_MAX:
+        by_dtype.pop(next(iter(by_dtype)))
     prepared = PreparedCSR(matrix, dtype)
-    _PREPARED[key] = (matrix, prepared)
+    by_dtype[dtype.str] = prepared
     return prepared
 
 

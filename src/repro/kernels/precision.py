@@ -1,0 +1,45 @@
+"""Storage-dtype resolution for the mixed-precision path.
+
+Mixed precision here means *storage* precision only: ``IndexDataset``,
+``FeatureStore`` and the serving ring buffers may hold float16/bfloat16,
+but every gather lands in a float32 ``out=`` buffer before compute, so
+model math is unchanged.  This module is the one place that turns a
+user-facing dtype name into a concrete numpy dtype, including the
+optional ``bfloat16`` which needs the ``ml_dtypes`` package.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+#: Names accepted for the bfloat16 storage mode (needs ``ml_dtypes``).
+_BFLOAT16_NAMES = ("bfloat16", "bf16")
+
+
+def resolve_store_dtype(dtype):
+    """Normalise a storage-dtype request into a numpy dtype.
+
+    Accepts ``None`` (meaning "no downcast, keep the compute dtype"),
+    numpy dtypes/classes, or strings such as ``"float16"``/``"bfloat16"``.
+    bfloat16 is gated on the optional ``ml_dtypes`` package; everything
+    else must resolve to a floating dtype, because integer storage would
+    silently destroy the scaled features.
+    """
+    if dtype is None:
+        return None
+    if isinstance(dtype, str) and dtype.strip().lower() in _BFLOAT16_NAMES:
+        try:
+            import ml_dtypes
+        except ImportError as exc:
+            raise ImportError(
+                "store_dtype='bfloat16' needs the optional ml_dtypes "
+                "package, which is not installed in this interpreter; "
+                "use store_dtype='float16' for the same 2x footprint "
+                "reduction with native numpy support") from exc
+        return np.dtype(ml_dtypes.bfloat16)
+    resolved = np.dtype(dtype)
+    if resolved.kind != "f":
+        raise ValueError(
+            f"store_dtype must be a floating dtype (or 'bfloat16'), got "
+            f"{resolved!r}")
+    return resolved

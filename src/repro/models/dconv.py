@@ -28,6 +28,7 @@ from __future__ import annotations
 import numpy as np
 import scipy.sparse as sp
 
+from repro import kernels
 from repro.autograd import functional as F
 from repro.autograd.grad_mode import is_grad_enabled
 from repro.autograd.sparse_kernels import prepared_csr
@@ -139,20 +140,16 @@ class DiffusionConv(Module):
                 scr.cat_eval = np.empty((n, b, m * f), dtype)
             cat = scr.cat_eval
 
+        backend = kernels.active_backend()
         np.copyto(scr.x0, x.data.transpose(1, 0, 2))
         cat[:, :, :f] = scr.x0
         x0_flat = scr.x0.reshape(n, b * f)
         col = f
         if k:
             for P in prepared:
-                prev = x0_flat
-                hop_bufs = (scr.ping, scr.pong)
-                for j in range(k):
-                    nxt = hop_bufs[j % 2]
-                    P.matmul_out(prev, nxt.reshape(n, b * f))
-                    cat[:, :, col: col + f] = nxt
-                    col += f
-                    prev = nxt.reshape(n, b * f)
+                backend.diffusion_hops(P, x0_flat, cat, col, f, k,
+                                       scr.ping, scr.pong)
+                col += k * f
 
         cat2 = cat.reshape(n * b, m * f)
         out2 = np.empty((n * b, o), dtype)
@@ -178,24 +175,11 @@ class DiffusionConv(Module):
                     np.copyto(scr.gx, gcat[:, :, :f])  # identity hop
                     col = f
                     for P in (prepared if k else ()):
-                        Pt = P.T
                         # Chain the per-hop gradients back down:
                         # acc_k = g_k;  acc_{j} = P^T acc_{j+1} + g_j;
                         # input grad += P^T acc_1.
-                        bufs = (scr.ping, scr.pong)
-                        acc = bufs[0]
-                        np.copyto(acc, gcat[:, :, col + (k - 1) * f:
-                                            col + k * f])
-                        for j in range(k - 1, 0, -1):
-                            nxt = bufs[1] if acc is bufs[0] else bufs[0]
-                            Pt.matmul_out(acc.reshape(n, b * f),
-                                          nxt.reshape(n, b * f))
-                            nxt += gcat[:, :, col + (j - 1) * f: col + j * f]
-                            acc = nxt
-                        nxt = bufs[1] if acc is bufs[0] else bufs[0]
-                        Pt.matmul_out(acc.reshape(n, b * f),
-                                      nxt.reshape(n, b * f))
-                        scr.gx += nxt
+                        backend.diffusion_backward(P.T, gcat, col, f, k,
+                                                   scr.gx, scr.ping, scr.pong)
                         col += k * f
                     x._accumulate(scr.gx.transpose(1, 0, 2))
 

@@ -18,6 +18,7 @@ from repro.models.base import STModel
 from repro.models.dconv import DiffusionConv
 from repro.nn.layers import Linear
 from repro.nn.module import Module
+from repro.nn.rnn import gru_cell_step
 from repro.utils.seeding import new_rng
 
 
@@ -39,12 +40,8 @@ class DCGRUCell(Module):
                                        seed_name=f"{seed_name}.cand")
 
     def forward(self, x: Tensor, h: Tensor) -> Tensor:
-        xh = F.concat([x, h], axis=-1)
-        gates = self.gates(xh).sigmoid()
-        r = gates[..., : self.hidden_dim]
-        u = gates[..., self.hidden_dim:]
-        cand = self.candidate(F.concat([x, r * h], axis=-1)).tanh()
-        return F.gru_update(u, h, cand)
+        return gru_cell_step(self.gates, self.candidate, x, h,
+                             self.hidden_dim)
 
     def init_hidden(self, batch: int) -> Tensor:
         return Tensor(np.zeros((batch, self.num_nodes, self.hidden_dim),

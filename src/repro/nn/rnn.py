@@ -9,11 +9,38 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro import kernels
 from repro.autograd import functional as F
 from repro.autograd.tensor import Tensor
 from repro.nn.init import glorot_uniform, zeros_
 from repro.nn.module import Module, Parameter
 from repro.utils.seeding import new_rng
+
+
+def gru_cell_step(gates, candidate, x: Tensor, h: Tensor,
+                  hidden_size: int) -> Tensor:
+    """One GRU recurrence, shared by GRUCell, DCGRUCell and TGCNCell.
+
+    ``gates`` / ``candidate`` map a concatenated input to pre-activations
+    (``2*hidden`` and ``hidden`` wide respectively) — a dense affine map
+    for the plain cell, diffusion/graph convolutions for the ST variants.
+
+    On backends advertising ``fused_gru`` the sigmoid/slice/tanh/blend
+    elementwise tail runs through the fused kernel ops
+    (:func:`repro.autograd.functional.gru_gates` /
+    :func:`~repro.autograd.functional.gru_blend`); otherwise the original
+    op composition is used, keeping the default NumPy path byte-for-byte
+    identical to the seed semantics.
+    """
+    xh = F.concat([x, h], axis=-1)
+    if kernels.active_backend().fused_gru:
+        rh, u = F.gru_gates(gates(xh), h)
+        return F.gru_blend(u, h, candidate(F.concat([x, rh], axis=-1)))
+    g = gates(xh).sigmoid()
+    r = g[..., :hidden_size]
+    u = g[..., hidden_size:]
+    cand = candidate(F.concat([x, r * h], axis=-1)).tanh()
+    return F.gru_update(u, h, cand)
 
 
 class GRUCell(Module):
@@ -35,13 +62,10 @@ class GRUCell(Module):
         self.b_cand = Parameter(zeros_((hidden_size,)))
 
     def forward(self, x: Tensor, h: Tensor) -> Tensor:
-        xh = F.concat([x, h], axis=-1)
-        gates = (xh @ self.w_gates + self.b_gates).sigmoid()
-        r = gates[..., : self.hidden_size]
-        u = gates[..., self.hidden_size:]
-        cand_in = F.concat([x, r * h], axis=-1)
-        c = (cand_in @ self.w_cand + self.b_cand).tanh()
-        return F.gru_update(u, h, c)
+        return gru_cell_step(
+            lambda t: t @ self.w_gates + self.b_gates,
+            lambda t: t @ self.w_cand + self.b_cand,
+            x, h, self.hidden_size)
 
     def init_hidden(self, batch_size: int) -> Tensor:
         return Tensor(np.zeros((batch_size, self.hidden_size), dtype=np.float32))

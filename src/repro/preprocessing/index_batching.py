@@ -24,6 +24,7 @@ import numpy as np
 
 from repro.datasets.base import SpatioTemporalDataset
 from repro.hardware.memory import Allocation, MemorySpace
+from repro.kernels.precision import resolve_store_dtype
 from repro.preprocessing.scaler import StandardScaler
 from repro.preprocessing.windows import num_snapshots, split_bounds, window_starts
 from repro.utils.errors import ShapeError
@@ -71,7 +72,12 @@ class IndexDataset:
         gathering feeds the model directly with no per-batch cast and the
         resident copy halves; the stored values are exactly the old
         float64-standardized values rounded once to float32, i.e. bitwise
-        what the loaders used to produce per batch.
+        what the loaders used to produce per batch.  Mixed-precision
+        storage goes one step further: ``store_dtype="float16"`` (or
+        ``"bfloat16"`` with the optional ml_dtypes package) halves the
+        resident copy again while the loaders keep computing in float32 —
+        every gather lands in the loader's float32 ``out=`` buffer, so
+        only storage precision changes, never model math.
         """
         h = dataset.spec.horizon if horizon is None else int(horizon)
         if add_time_feature is None:
@@ -115,7 +121,8 @@ class IndexDataset:
         uncharge(scratch)
         uncharge(raw_alloc)
 
-        if store_dtype is not None and np.dtype(store_dtype) != data.dtype:
+        store_dtype = resolve_store_dtype(store_dtype)
+        if store_dtype is not None and store_dtype != data.dtype:
             store = data.astype(store_dtype)
             store_alloc = charge("store-cast", store.nbytes)
             uncharge(aug_alloc)

@@ -8,10 +8,11 @@ snapshot.  Committing one snapshot per perf-relevant PR gives the repo a
 perf trajectory, and :func:`diff_benches` turns two snapshots into a
 ratio table so a regression (or a claimed speedup) is visible in review.
 
-Schema (``repro-bench/v1``)::
+Schema (``repro-bench/v2``; committed ``repro-bench/v1`` snapshots still
+validate)::
 
     {
-      "schema": "repro-bench/v1",
+      "schema": "repro-bench/v2",
       "label": "...",                   # human note: what code state this is
       "created": "2026-07-27T12:00:00", # wall time of collection
       "platform": {"python": ..., "numpy": ..., "scipy": ...},
@@ -32,6 +33,20 @@ Schema (``repro-bench/v1``)::
           "resident_bytes": ...,        # loader-resident data bytes
           "train_curve": [...],         # per-epoch mean losses (parity anchor)
         }
+      },
+      "kernels": {                      # v2: per-backend compute + precision
+        "backends_available": ["numpy", ...],
+        "default_backend": "numpy",
+        "micro": {"<backend>": [ ... MicroResult dicts ... ]},
+        "training": {"<backend>": { ... training entry ... }},
+        "compiled_speedup": {           # >= threshold gate; recorded-skipped
+          "applied": ..., "speedup": ..., "threshold": 2.0, "reason": ...},
+        "parity": {                     # compiled-vs-numpy curve drift gate
+          "applied": ..., "max_drift": ..., "atol": 1e-6},
+        "mixed_precision": {            # f16 storage footprint gate
+          "f32_resident_bytes": ..., "f16_resident_bytes": ...,
+          "resident_ratio": ..., "floor": 1.8,
+          "f16_curve_drift_vs_f32": ...}   # informational (storage rounding)
       }
     }
 
@@ -53,10 +68,21 @@ from typing import Callable
 
 import numpy as np
 
-SCHEMA = "repro-bench/v1"
+SCHEMA = "repro-bench/v2"
 
-#: Tolerance used by :func:`diff_benches` to flag train-curve drift.
+#: Previous schema, still accepted by :func:`validate_snapshot` so the
+#: committed ``BENCH_1..8.json`` snapshots keep validating and diffing.
+SCHEMA_V1 = "repro-bench/v1"
+
+#: Tolerance used by :func:`diff_benches` to flag train-curve drift; also
+#: the compiled-vs-numpy parity gate of the ``kernels`` section.
 PARITY_ATOL = 1e-6
+
+#: ``kernels`` section gate thresholds: minimum steps/sec speedup a
+#: compiled backend must deliver over numpy, and minimum resident-bytes
+#: ratio float16 storage must win over float32.
+COMPILED_SPEEDUP_FLOOR = 2.0
+MIXED_PRECISION_FLOOR = 1.8
 
 
 # ---------------------------------------------------------------------------
@@ -283,6 +309,178 @@ def training_benchmark(*, model: str = "dcrnn", batching: str = "index",
 
 
 # ---------------------------------------------------------------------------
+# Kernel backends + mixed-precision storage (v2 section)
+# ---------------------------------------------------------------------------
+def kernel_micro_suite(*, quick: bool = False) -> list[MicroResult]:
+    """Backend-sensitive primitives only: the fused diffusion-conv
+    forward+backward and the fused GRU gate/blend ops.  Run once per
+    available backend (under :func:`repro.kernels.use_backend`) by
+    :func:`kernels_suite`; backend-independent paths (gather, Adam, ...)
+    stay in :func:`micro_suite`."""
+    from repro.autograd import Tensor, functional as F
+    from repro.graph import dual_random_walk_supports, random_sensor_network
+    from repro.models.dconv import DiffusionConv
+
+    min_time = 0.05 if quick else 0.25
+    results: list[MicroResult] = []
+
+    def add(name, fn, note=""):
+        mean, iters = time_fn(fn, min_time=min_time)
+        results.append(MicroResult(name, mean, iters, note))
+
+    g = random_sensor_network(64, seed=3)
+    supports = dual_random_walk_supports(g.weights)
+    conv = DiffusionConv(supports, 16, 16, k_hops=2)
+    rng = np.random.default_rng(1)
+    xc = rng.standard_normal((32, 64, 16)).astype(np.float32)
+
+    def dconv_fwd_bwd():
+        xt = Tensor(xc, requires_grad=True)
+        out = conv(xt)
+        out.backward(np.ones_like(out.data))
+        return out
+
+    add("dconv_forward_backward", dconv_fwd_bwd,
+        "DiffusionConv fwd+bwd, batch 32, 64 nodes, 16->16, K=2")
+
+    pre = rng.standard_normal((32, 64, 32)).astype(np.float32)
+    hdata = rng.standard_normal((32, 64, 16)).astype(np.float32)
+    cand = rng.standard_normal((32, 64, 16)).astype(np.float32)
+
+    def gru_fwd_bwd():
+        pt = Tensor(pre, requires_grad=True)
+        ht = Tensor(hdata, requires_grad=True)
+        ct = Tensor(cand, requires_grad=True)
+        rh, u = F.gru_gates(pt, ht)
+        out = F.gru_blend(u, ht, ct)
+        out.backward(np.ones_like(out.data))
+        return rh
+
+    add("gru_gates_blend_fwd_bwd", gru_fwd_bwd,
+        "fused GRU gate+blend fwd+bwd, batch 32, 64 nodes, hidden 16")
+    return results
+
+
+def _curve_drift(a: list[float], b: list[float]) -> float:
+    shared = min(len(a), len(b))
+    if not shared:
+        return float("nan")
+    return max(abs(x - y) for x, y in zip(a[:shared], b[:shared]))
+
+
+def kernels_suite(*, quick: bool = False) -> dict:
+    """The v2 ``kernels`` section: per-backend micro + training numbers
+    plus the three gates (compiled speedup, compiled parity, float16
+    storage footprint).
+
+    Gates that cannot run in the current environment are
+    *recorded-skipped*: ``applied`` is false and ``reason`` says why, so
+    a snapshot from a numba-less box documents the gap instead of
+    silently passing.
+    """
+    from repro import kernels
+
+    backends = kernels.available_backends()
+    micro: dict[str, list] = {}
+    training: dict[str, dict] = {}
+    for name in backends:
+        with kernels.use_backend(name):
+            micro[name] = [m.to_dict() for m in
+                           kernel_micro_suite(quick=quick)]
+            training[name] = training_benchmark(batching="index", quick=quick)
+
+    compiled = [name for name in backends
+                if kernels.get_backend(name).compiled]
+    base_curve = training["numpy"]["train_curve"]
+    base_steps = training["numpy"]["steps_per_sec"]
+    if compiled:
+        best = max(compiled,
+                   key=lambda n: training[n]["steps_per_sec"])
+        speedup = (training[best]["steps_per_sec"] / base_steps
+                   if base_steps else float("inf"))
+        # Quick mode records the speedup but never gates on it: the
+        # one-epoch run is dominated by JIT compilation, which full runs
+        # amortise.  Parity is timing-independent and gates either way.
+        compiled_speedup = {
+            "applied": not quick, "backend": best, "speedup": speedup,
+            "threshold": COMPILED_SPEEDUP_FLOOR,
+        }
+        if quick:
+            compiled_speedup["reason"] = (
+                "quick mode: JIT compile time dominates the short run")
+        parity = {
+            "applied": True,
+            "max_drift": max(_curve_drift(base_curve,
+                                          training[n]["train_curve"])
+                             for n in compiled),
+            "atol": PARITY_ATOL,
+        }
+    else:
+        reason = ("no compiled backend available "
+                  "(numba is not importable in this environment)")
+        compiled_speedup = {"applied": False, "backend": None,
+                            "speedup": None,
+                            "threshold": COMPILED_SPEEDUP_FLOOR,
+                            "reason": reason}
+        parity = {"applied": False, "max_drift": None,
+                  "atol": PARITY_ATOL, "reason": reason}
+
+    # float16 storage: same fixed-seed run with the ring stored in f16
+    # (compute stays float32, casting on gather).  The resident-bytes
+    # ratio is the gate; curve drift vs f32 storage is informational —
+    # storage rounding legitimately moves the curve.
+    f16 = training_benchmark(batching="index-f16", quick=quick)
+    f32_resident = training["numpy"]["resident_bytes"]
+    mixed_precision = {
+        "f32_resident_bytes": f32_resident,
+        "f16_resident_bytes": f16["resident_bytes"],
+        "resident_ratio": (f32_resident / f16["resident_bytes"]
+                           if f16["resident_bytes"] else float("inf")),
+        "floor": MIXED_PRECISION_FLOOR,
+        "f32_peak_bytes": training["numpy"]["peak_bytes"],
+        "f16_peak_bytes": f16["peak_bytes"],
+        "f16_steps_per_sec": f16["steps_per_sec"],
+        "f16_curve_drift_vs_f32": _curve_drift(base_curve,
+                                               f16["train_curve"]),
+    }
+    return {
+        "backends_available": list(backends),
+        "default_backend": kernels.active_backend().name,
+        "micro": micro,
+        "training": training,
+        "compiled_speedup": compiled_speedup,
+        "parity": parity,
+        "mixed_precision": mixed_precision,
+    }
+
+
+def check_kernel_gates(section: dict) -> list[str]:
+    """Failure messages for the ``kernels`` section gates (empty = green).
+
+    Applied gates: compiled backend >= its speedup threshold, compiled
+    train curve within ``atol`` of numpy, and float16 storage >= its
+    resident-ratio floor.  Recorded-skipped gates contribute nothing.
+    """
+    failures = []
+    cs = section["compiled_speedup"]
+    if cs["applied"] and cs["speedup"] < cs["threshold"]:
+        failures.append(
+            f"compiled backend {cs.get('backend')} speedup "
+            f"x{cs['speedup']:.2f} below x{cs['threshold']}")
+    pa = section["parity"]
+    if pa["applied"] and not (pa["max_drift"] <= pa["atol"]):
+        failures.append(
+            f"compiled train curve drifts {pa['max_drift']:.2e} from "
+            f"numpy (atol {pa['atol']:.0e})")
+    mp = section["mixed_precision"]
+    if mp["resident_ratio"] < mp["floor"]:
+        failures.append(
+            f"float16 storage resident ratio x{mp['resident_ratio']:.2f} "
+            f"below x{mp['floor']}")
+    return failures
+
+
+# ---------------------------------------------------------------------------
 # Snapshot collection / IO
 # ---------------------------------------------------------------------------
 def collect(*, quick: bool = False, label: str = "") -> dict:
@@ -306,12 +504,15 @@ def collect(*, quick: bool = False, label: str = "") -> dict:
         },
         "micro": [m.to_dict() for m in micro],
         "training": training,
+        "kernels": kernels_suite(quick=quick),
     }
 
 
 def validate_snapshot(data: dict) -> None:
-    """Raise ``ValueError`` if ``data`` is not a valid v1 snapshot."""
-    if not isinstance(data, dict) or data.get("schema") != SCHEMA:
+    """Raise ``ValueError`` unless ``data`` is a valid v2 (or committed
+    v1) snapshot."""
+    if not isinstance(data, dict) or data.get("schema") not in (SCHEMA,
+                                                                SCHEMA_V1):
         raise ValueError(f"not a {SCHEMA} snapshot")
     for key in ("created", "platform", "micro", "training"):
         if key not in data:
@@ -325,6 +526,18 @@ def validate_snapshot(data: dict) -> None:
                       "peak_bytes", "train_curve"):
             if field not in t:
                 raise ValueError(f"training entry {key!r} missing {field!r}")
+    if "kernels" in data:
+        k = data["kernels"]
+        for field in ("backends_available", "micro", "training",
+                      "compiled_speedup", "parity", "mixed_precision"):
+            if field not in k:
+                raise ValueError(f"kernels section missing {field!r}")
+        for gate in ("compiled_speedup", "parity"):
+            if "applied" not in k[gate]:
+                raise ValueError(f"kernels {gate} gate missing 'applied'")
+        if "resident_ratio" not in k["mixed_precision"]:
+            raise ValueError(
+                "kernels mixed_precision missing 'resident_ratio'")
 
 
 def load_or_init_snapshot(path: str | Path, *, label: str = "",
@@ -423,7 +636,17 @@ def diff_benches(old: dict, new: dict) -> dict:
         entry["train_curve_max_drift"] = drift
         entry["parity"] = bool(shared and drift <= PARITY_ATOL)
         training[key] = entry
-    return {"micro": micro, "training": training}
+    out = {"micro": micro, "training": training}
+    if "kernels" in old and "kernels" in new:
+        ko = old["kernels"]["training"]
+        kn = new["kernels"]["training"]
+        out["kernels"] = {
+            b: {"old_steps_per_sec": ko[b]["steps_per_sec"],
+                "new_steps_per_sec": kn[b]["steps_per_sec"],
+                "speedup": (kn[b]["steps_per_sec"] / ko[b]["steps_per_sec"]
+                            if ko[b]["steps_per_sec"] else float("inf"))}
+            for b in sorted(set(ko) & set(kn))}
+    return out
 
 
 def format_diff(diff: dict) -> str:
@@ -441,4 +664,10 @@ def format_diff(diff: dict) -> str:
             f"  {key}: {d['old_steps_per_sec']:.1f} -> "
             f"{d['new_steps_per_sec']:.1f} steps/s  x{d['speedup']:.2f}   "
             f"peak {d['old_peak_bytes']} -> {d['new_peak_bytes']} B   {parity}")
+    if diff.get("kernels"):
+        lines.append("== kernels (training steps/sec per backend) ==")
+        for backend, d in diff["kernels"].items():
+            lines.append(
+                f"  {backend}: {d['old_steps_per_sec']:.1f} -> "
+                f"{d['new_steps_per_sec']:.1f} steps/s  x{d['speedup']:.2f}")
     return "\n".join(lines)

@@ -81,6 +81,21 @@ class SharedArrayPool:
             np.copyto(view, arr)
             self.arrays.append(view)
 
+    def seal(self) -> None:
+        """Unlink the backing name immediately, keeping the mapping.
+
+        The pool's views (and any fork children's inherited mappings)
+        stay fully usable; only the filesystem name goes away, so a pool
+        owned by a long-lived object cannot leak a ``/dev/shm`` entry if
+        its owner never reaches ``destroy()``.  Long-lived pools — e.g.
+        the sharded session's halo-window pool — seal right after
+        construction.
+        """
+        try:
+            self.shm.unlink()
+        except FileNotFoundError:
+            pass
+
     def destroy(self) -> None:
         # Views into self.arrays may still be referenced by trainer
         # state; release ours first so close() has a chance to succeed.

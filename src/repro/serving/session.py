@@ -72,7 +72,8 @@ class ModelSession:
     @classmethod
     def from_checkpoint(cls, path: str, *, max_batch: int = 32,
                         with_store: bool = True,
-                        store_capacity: int | None = None) -> "ModelSession":
+                        store_capacity: int | None = None,
+                        store_dtype="float32") -> "ModelSession":
         """Restore model + scaler + spec from ``path`` and build a session.
 
         The checkpoint must have been written with ``spec=`` (and, for
@@ -81,15 +82,22 @@ class ModelSession:
         embedded spec — dataset generation is deterministic in the spec's
         seed, so the sensor graph (and therefore the diffusion supports)
         match the training run exactly.
+
+        ``store_dtype`` sets the feature-store ring precision:
+        ``"float16"`` halves the store's resident footprint while windows
+        still materialise into the session's float32 staging buffers
+        (storage precision only — model math is unchanged).
         """
         # Imported lazily: repro.api imports this module's package.
         from repro.api.serving import restore_checkpoint
+        from repro.kernels.precision import resolve_store_dtype
 
         model, scaler, spec, ds = restore_checkpoint(path)
         session = cls(model, scaler, spec=spec, max_batch=max_batch)
         if with_store and scaler is not None:
             session.attach_store(FeatureStore.for_dataset(
-                ds, scaler, capacity=store_capacity or 4 * session.horizon))
+                ds, scaler, capacity=store_capacity or 4 * session.horizon,
+                dtype=resolve_store_dtype(store_dtype) or np.float32))
         return session
 
     # ------------------------------------------------------------------

@@ -47,8 +47,10 @@ import scipy.sparse as sp
 from repro.autograd.grad_mode import no_grad
 from repro.autograd.tensor import Tensor
 from repro.graph.partition import partition_graph
+from repro.kernels.precision import resolve_store_dtype
 from repro.nn.module import assert_inference_mode
 from repro.preprocessing.scaler import StandardScaler
+from repro.runtime.fabric.shm import SharedArrayPool
 from repro.runtime.process_group import ProcessGroup, as_process_group
 from repro.serving.cache import FeatureStore
 from repro.utils.errors import ShapeError
@@ -82,8 +84,9 @@ class ShardWorker:
     halo: np.ndarray            # non-owned node ids it must fetch
     store: FeatureStore | None  # owned-column observations only
     assemble: np.ndarray        # [horizon, num_nodes, features] input buffer
-    own_window: np.ndarray      # [horizon, len(owned), features] scratch
+    own_window: np.ndarray      # [horizon, len(owned), features] shared view
     alive: bool = True          # dead workers trigger failover on detection
+    window_version: int = -1    # session version own_window was built at
 
 
 @dataclass(frozen=True)
@@ -114,6 +117,7 @@ class ShardedSession:
                  graph: Any, *, num_shards: int, spec: Any = None,
                  max_batch: int = 32, receptive_hops: int | None = None,
                  store_capacity: int | None = None,
+                 store_dtype="float32",
                  comm: ProcessGroup | None = None,
                  add_time_feature: bool | None = None,
                  num_standby: int = 0, fault_plan: Any = None):
@@ -140,6 +144,11 @@ class ShardedSession:
             add_time_feature = self._guess_time_feature()
         self.add_time_feature = bool(add_time_feature)
         self._store_capacity = capacity
+        # Storage precision for the per-shard feature stores: windows
+        # still materialise into float32 compute buffers (cast on read),
+        # so "float16" halves each shard's resident ring at unchanged
+        # model math.
+        self.store_dtype = resolve_store_dtype(store_dtype) or np.float32
         # Fault tolerance: spare replica slots, the scheduled chaos plan,
         # and a bounded raw-observation log (one full store capacity) that
         # failover replays into rebuilt workers' feature stores.
@@ -153,6 +162,15 @@ class ShardedSession:
         self.workers: list[ShardWorker] = [
             self._build_worker(s, np.flatnonzero(self.assignment == s))
             for s in range(self.num_shards)]
+        # Zero-copy halo exchange: every worker's own_window lives in one
+        # shared-memory pool, so a peer consuming halo columns reads the
+        # owner's materialised window *view* directly instead of forcing
+        # the owner to rebuild it per consumer (S materialisations per
+        # version instead of S*(S-1)).  The version counter bumps on every
+        # ingest; _fresh_own_window re-materialises at most once per bump.
+        self._window_pool: SharedArrayPool | None = None
+        self._window_version = 0
+        self._rebuild_window_pool()
         self._in_buf = np.empty(
             (self.max_batch, self.horizon, self.num_nodes, self.in_features),
             dtype=np.float32)
@@ -171,13 +189,43 @@ class ShardedSession:
                 self.scaler, num_nodes=len(owned),
                 raw_features=self.in_features - int(self.add_time_feature),
                 capacity=self._store_capacity,
-                add_time_feature=self.add_time_feature)
+                add_time_feature=self.add_time_feature,
+                dtype=self.store_dtype)
         return ShardWorker(
             shard_id=shard_id, owned=owned, halo=halo, store=store,
             assemble=np.zeros((self.horizon, self.num_nodes,
                                self.in_features), np.float32),
             own_window=np.empty((self.horizon, len(owned),
                                  self.in_features), np.float32))
+
+    def _rebuild_window_pool(self) -> None:
+        """Re-back every worker's ``own_window`` onto one shared pool.
+
+        Called at construction and after any failover that created fresh
+        workers: the pool views replace the workers' private scratch
+        arrays, cache stamps reset, and the pool is sealed immediately so
+        a session abandoned without cleanup cannot leak a shm name.
+        """
+        if self._window_pool is not None:
+            self._window_pool.destroy()
+        pool = SharedArrayPool([w.own_window for w in self.workers],
+                               name_hint="halo-windows")
+        pool.seal()
+        for w, view in zip(self.workers, pool.arrays):
+            w.own_window = view
+            w.window_version = -1
+        self._window_pool = pool
+
+    def _fresh_own_window(self, w: ShardWorker) -> np.ndarray:
+        """``w``'s owned-columns window, materialised at most once per
+        ingest version.  Peers consuming halo columns call this too and
+        get the owner's *shared view* — the zero-copy half of the halo
+        exchange (the byte accounting of the logical transfer stays with
+        the caller)."""
+        if w.window_version != self._window_version:
+            w.store.window(self.horizon, out=w.own_window)
+            w.window_version = self._window_version
+        return w.own_window
 
     def _guess_time_feature(self) -> bool:
         # Fallback when the builder did not say (direct construction
@@ -280,6 +328,10 @@ class ShardedSession:
             for w in self.workers:
                 self._replay_into(w)
             mode = "repartition"
+        # Fresh workers carry private scratch windows; fold them back
+        # into one shared pool (and reset every cache stamp — replay
+        # changed store contents without bumping the version).
+        self._rebuild_window_pool()
         self.failover_events.append(FailoverEvent(
             shards=dead, mode=mode, seconds=time.perf_counter() - t0,
             at_request=self.requests_served,
@@ -315,6 +367,8 @@ class ShardedSession:
         # must fail its caller, never linger to poison a later failover
         # replay.
         self._ingest_log.append((values.copy(), float(timestamp_minutes)))
+        # Invalidate every cached own_window materialisation.
+        self._window_version += 1
 
     # ------------------------------------------------------------------
     # Inference
@@ -390,8 +444,7 @@ class ShardedSession:
         if w.store is None:
             raise RuntimeError("no stores attached (session needs a scaler)")
         h = self.horizon
-        w.store.window(h, out=w.own_window)
-        w.assemble[:, w.owned] = w.own_window
+        w.assemble[:, w.owned] = self._fresh_own_window(w)
         itemsize = w.assemble.itemsize
         for peer in self.workers:
             if peer.shard_id == w.shard_id:
@@ -399,7 +452,9 @@ class ShardedSession:
             cols = peer.owned[np.isin(peer.owned, w.halo, assume_unique=True)]
             if len(cols) == 0:
                 continue
-            peer_window = peer.store.window(h, out=peer.own_window)
+            # Zero-copy: the peer's shared window view, materialised by
+            # its owner at most once per ingest version.
+            peer_window = self._fresh_own_window(peer)
             local = np.searchsorted(peer.owned, cols)
             w.assemble[:, cols] = peer_window[:, local]
             self.comm.fetch(peer.shard_id, w.shard_id,
@@ -423,8 +478,7 @@ class ShardedSession:
             if w.store is None:
                 raise RuntimeError("sharded session built without a scaler "
                                    "has no stores to read")
-            w.store.window(self.horizon, out=w.own_window)
-            out[:, w.owned] = w.own_window
+            out[:, w.owned] = self._fresh_own_window(w)
         return out.copy()
 
     def forecast_current(self) -> np.ndarray:
@@ -468,6 +522,11 @@ class ShardedSession:
             "num_shards": self.num_shards,
             "halo_sizes": [int(len(w.halo)) for w in self.workers],
             "owned_sizes": [int(len(w.owned)) for w in self.workers],
+            "store_dtype": np.dtype(self.store_dtype).name,
+            "store_resident_bytes": sum(
+                w.store.resident_nbytes for w in self.workers
+                if w.store is not None),
+            "window_pool_bytes": int(self._window_pool.shm.size),
             "bytes_by_category": dict(self.comm.stats.bytes_by_category),
             "ops": self.comm.stats.ops,
             "failovers": len(self.failover_events),

@@ -57,7 +57,7 @@ class TestRegistry:
     def test_default_entries_present(self):
         assert "pgt-dcrnn" in api.list_models()
         assert "st-llm" in api.list_models()
-        assert api.list_batchings() == ["base", "index"]
+        assert api.list_batchings() == ["base", "index", "index-f16"]
         assert "pems-bay" in api.list_datasets()
         assert set(api.list_optimizers()) >= {"adam", "sgd"}
 

@@ -13,7 +13,10 @@ import numpy as np
 import pytest
 
 from repro.profiling.bench import (
+    COMPILED_SPEEDUP_FLOOR,
+    MIXED_PRECISION_FLOOR,
     PARITY_ATOL,
+    check_kernel_gates,
     diff_benches,
     format_diff,
     load_snapshot,
@@ -103,6 +106,50 @@ class TestTrainingBenchmarkParity:
                                    rtol=0, atol=1e-9)
 
 
+class TestKernelsSection:
+    def test_snapshot_records_kernels_section(self, snapshot_path):
+        k = load_snapshot(snapshot_path)["kernels"]
+        assert k["backends_available"][0] == "numpy"
+        assert "numpy" in k["training"]
+        assert k["training"]["numpy"]["steps_per_sec"] > 0
+        names = {m["name"] for m in k["micro"]["numpy"]}
+        assert names == {"dconv_forward_backward", "gru_gates_blend_fwd_bwd"}
+        # Gates either applied or recorded-skipped with a reason.
+        for gate in (k["compiled_speedup"], k["parity"]):
+            assert gate["applied"] or gate["reason"]
+        assert k["mixed_precision"]["resident_ratio"] \
+            >= MIXED_PRECISION_FLOOR
+        assert check_kernel_gates(k) == []
+
+    def test_gate_failures_are_specific(self):
+        section = {
+            "compiled_speedup": {"applied": True, "backend": "numba",
+                                 "speedup": 1.2,
+                                 "threshold": COMPILED_SPEEDUP_FLOOR},
+            "parity": {"applied": True, "max_drift": 1e-3,
+                       "atol": PARITY_ATOL},
+            "mixed_precision": {"resident_ratio": 1.1,
+                                "floor": MIXED_PRECISION_FLOOR},
+        }
+        failures = check_kernel_gates(section)
+        assert len(failures) == 3
+        assert any("speedup" in f for f in failures)
+        assert any("drift" in f for f in failures)
+        assert any("float16" in f for f in failures)
+
+    def test_skipped_gates_do_not_fail(self):
+        section = {
+            "compiled_speedup": {"applied": False, "speedup": None,
+                                 "threshold": COMPILED_SPEEDUP_FLOOR,
+                                 "reason": "no numba"},
+            "parity": {"applied": False, "max_drift": None,
+                       "atol": PARITY_ATOL, "reason": "no numba"},
+            "mixed_precision": {"resident_ratio": 2.0,
+                                "floor": MIXED_PRECISION_FLOOR},
+        }
+        assert check_kernel_gates(section) == []
+
+
 class TestDistBenchCLI:
     @pytest.fixture(scope="class")
     def dist_path(self, tmp_path_factory):
@@ -119,6 +166,9 @@ class TestDistBenchCLI:
         ar = scen["allreduce_bucketed_w4"]
         assert ar["sim_speedup"] > 1.0           # bucketing must win
         assert ar["buckets"] < ar["num_tensors"]
+        # The wall ratio times in-process memcpy, not the gated claim:
+        # recorded as informational so a 1-core dip is not misread.
+        assert ar["wall_informational"] is True
         assert data["distributed"]["config"]["cores_detected"] >= 1
         for name in ("thread_scaling_w4", "process_scaling_w4"):
             sc = scen[name]
