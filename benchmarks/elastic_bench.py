@@ -1,0 +1,582 @@
+"""Elastic-scale benchmark: reshard cost, autoscale convergence, planning.
+
+Measures what the elastic subsystem guarantees and costs, and merges the
+numbers as an ``"elastic"`` section into a ``BENCH_<n>.json`` snapshot
+(see ``benchmarks/README.md`` for the ``repro-elastic/v1`` schema)::
+
+    # merge into the newest existing snapshot (or create BENCH_1.json)
+    python -m benchmarks.elastic_bench
+
+    # explicit target / CI smoke mode
+    python -m benchmarks.elastic_bench --out BENCH_10.json
+    python -m benchmarks.elastic_bench --quick --out /tmp/elastic.json
+
+    # compare two snapshots' elastic sections / gate the guarantees
+    python -m benchmarks.elastic_bench --diff BENCH_9.json BENCH_10.json
+    python -m benchmarks.elastic_bench --fail-on-regression
+
+Scenarios:
+
+- ``reshard_roundtrip`` — per DDP strategy: checkpoint at world 2,
+  reshard 2 -> 4 -> 2, resume, and require the continuation **bitwise
+  identical** to the uninterrupted run; records the archive-rewrite wall
+  cost and the state bytes moved.
+- ``reshard_fresh_match`` — under the world-invariant global shuffle,
+  reshard 2 -> W' (W' in {1, 4}) and require the resumed curve to match
+  a *fresh* W' run within 1e-6.
+- ``reshard_process_fabric`` — resume a resharded archive on the
+  process-rank fabric and require bitwise parity with the sim fabric.
+  Needs >= 2 cores; a single-core box records the scenario gate-skipped
+  (same convention as ``dist_bench``).
+- ``autoscale_2_4_2`` — the canonical traffic-step demo on the manual
+  clock: a 2-shard fleet under a 500 -> 2200 -> 500 qps trace must
+  scale 2 -> 4 -> 2, hold the 4.5 ms p99 SLO outside the transition
+  tick, and converge; the whole trace is pinned bit-for-bit.
+- ``planner`` — capacity plans from the analytic models: training world
+  from a runtime budget, serving fleet from a traffic/SLO budget, the
+  derived autoscaler setpoints, and the simulated cost of the 2 -> 4
+  world change itself.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import tempfile
+import time
+from pathlib import Path
+
+import numpy as np
+
+ELASTIC_SCHEMA = "repro-elastic/v1"
+
+#: Fixed seed — part of the benchmark definition.
+SEED = 0
+
+#: Fresh-run curve match bound after a global-shuffle reshard.
+FRESH_MATCH_ATOL = 1e-6
+
+#: The pinned autoscale trace: fleet size after each tick's decision.
+PINNED_SHARDS_PATH = [2, 2, 2, 4, 4, 4, 4, 4, 2, 2, 2, 2]
+
+GLOBAL_BATCH = 16
+
+
+def _cores() -> int:
+    from repro.hardware import usable_cores
+    return usable_cores()
+
+
+# ---------------------------------------------------------------------------
+# Training-side workload (shared by the reshard scenarios)
+# ---------------------------------------------------------------------------
+def _training_setup():
+    from repro.datasets import load_dataset
+    from repro.graph import dual_random_walk_supports
+    from repro.preprocessing import IndexDataset
+
+    ds = load_dataset("pems-bay", nodes=10, entries=260, seed=SEED)
+    idx = IndexDataset.from_dataset(ds, horizon=4)
+    supports = dual_random_walk_supports(ds.graph.weights)
+    return idx, supports
+
+
+def _make_trainer(setup, *, world, strategy, transport="sim", ckpt=None):
+    from repro.batching import IndexBatchLoader
+    from repro.models import PGTDCRNN
+    from repro.optim import Adam
+    from repro.runtime import ProcessGroup
+    from repro.training import DDPTrainer
+
+    idx, supports = setup
+    model = PGTDCRNN(supports, horizon=4, in_features=2, hidden_dim=8,
+                     seed=SEED)
+    pg = {"sim": ProcessGroup.sim,
+          "process": ProcessGroup.processes}[transport](world)
+    return DDPTrainer(
+        model, Adam(model.parameters(), lr=0.01), pg,
+        IndexBatchLoader(idx, "train", GLOBAL_BATCH // world),
+        IndexBatchLoader(idx, "val", GLOBAL_BATCH // world),
+        strategy=strategy, seed=SEED, clip_norm=0.0,
+        checkpoint_path=ckpt)
+
+
+def _curve(history):
+    return [(h.train_loss, h.val_mae) for h in history]
+
+
+def _boundary_checkpoint(setup, path, *, strategy):
+    trainer = _make_trainer(setup, world=2, strategy=strategy)
+    trainer.fit(1)
+    trainer.save_training_checkpoint(path, epoch=1, step=0)
+
+
+# ---------------------------------------------------------------------------
+# Scenario 1: round-trip resharding, bitwise, per strategy
+# ---------------------------------------------------------------------------
+def bench_reshard_roundtrip(*, quick: bool = False) -> dict:
+    from repro.elastic import read_reshard_history, reshard_checkpoint
+    from repro.training import DDPStrategy
+
+    setup = _training_setup()
+    epochs = 1 if quick else 2
+    strategies = ([DDPStrategy.DIST_INDEX] if quick
+                  else list(DDPStrategy))
+    per_strategy = {}
+    with tempfile.TemporaryDirectory(prefix="elastic-bench-") as d:
+        for strategy in strategies:
+            reference = _curve(
+                _make_trainer(setup, world=2, strategy=strategy).fit(
+                    1 + epochs))
+            ckpt = os.path.join(d, f"{strategy.value}.npz")
+            _boundary_checkpoint(setup, ckpt, strategy=strategy)
+            up = reshard_checkpoint(ckpt, 4)
+            down = reshard_checkpoint(ckpt, 2)
+            resumed = _make_trainer(setup, world=2, strategy=strategy)
+            resumed.resume(ckpt)
+            continued = _curve(resumed.fit(1 + epochs))
+            per_strategy[strategy.value] = {
+                "roundtrip_bitwise": continued == reference,
+                "reshard_wall_ms": 1e3 * (up.seconds + down.seconds) / 2,
+                "state_bytes": up.param_bytes + up.slot_bytes,
+                "reshard_history": [h["to_world"]
+                                    for h in read_reshard_history(ckpt)],
+            }
+    return {
+        "worlds": [2, 4, 2],
+        "epochs_after_reshard": epochs,
+        "global_batch": GLOBAL_BATCH,
+        "strategies": per_strategy,
+    }
+
+
+# ---------------------------------------------------------------------------
+# Scenario 2: fresh-run equivalence at the new world (global shuffle)
+# ---------------------------------------------------------------------------
+def bench_fresh_match(*, quick: bool = False) -> dict:
+    from repro.elastic import reshard_checkpoint
+    from repro.training import DDPStrategy
+
+    setup = _training_setup()
+    epochs = 1 if quick else 2
+    new_worlds = [4] if quick else [1, 4]
+    per_world = {}
+    with tempfile.TemporaryDirectory(prefix="elastic-bench-") as d:
+        for new_world in new_worlds:
+            fresh = _curve(_make_trainer(
+                setup, world=new_world,
+                strategy=DDPStrategy.DIST_INDEX).fit(1 + epochs))[1:]
+            ckpt = os.path.join(d, f"w{new_world}.npz")
+            _boundary_checkpoint(setup, ckpt,
+                                 strategy=DDPStrategy.DIST_INDEX)
+            reshard_checkpoint(ckpt, new_world)
+            resumed = _make_trainer(setup, world=new_world,
+                                    strategy=DDPStrategy.DIST_INDEX)
+            resumed.resume(ckpt)
+            got = _curve(resumed.fit(1 + epochs))[1:]
+            per_world[str(new_world)] = {
+                "max_abs_diff": float(np.max(np.abs(
+                    np.asarray(got) - np.asarray(fresh)))),
+            }
+    return {
+        "strategy": "dist-index",
+        "shuffle": "global",
+        "from_world": 2,
+        "epochs_compared": epochs,
+        "atol": FRESH_MATCH_ATOL,
+        "worlds": per_world,
+    }
+
+
+# ---------------------------------------------------------------------------
+# Scenario 3: resharded archives are fabric-agnostic (needs >= 2 cores)
+# ---------------------------------------------------------------------------
+def bench_process_fabric(*, quick: bool = False) -> dict:
+    from repro.elastic import reshard_checkpoint
+    from repro.training import DDPStrategy
+
+    cores = _cores()
+    gate_applied = cores >= 2 and not quick
+    result = {"cores": cores, "gate_applied": gate_applied}
+    if not gate_applied:
+        result["skipped"] = True
+        return result
+
+    setup = _training_setup()
+    with tempfile.TemporaryDirectory(prefix="elastic-bench-") as d:
+        ckpt = os.path.join(d, "fabric.npz")
+        _boundary_checkpoint(setup, ckpt, strategy=DDPStrategy.DIST_INDEX)
+        reshard_checkpoint(ckpt, 4)
+        sim = _make_trainer(setup, world=4, strategy=DDPStrategy.DIST_INDEX)
+        sim.resume(ckpt)
+        reference = _curve(sim.fit(2))
+        proc = _make_trainer(setup, world=4,
+                             strategy=DDPStrategy.DIST_INDEX,
+                             transport="process")
+        try:
+            proc.resume(ckpt)
+            t0 = time.perf_counter()
+            got = _curve(proc.fit(2))
+            wall = time.perf_counter() - t0
+        finally:
+            proc.comm.transport.shutdown()
+    result.update({
+        "skipped": False,
+        "curve_bitwise_equal": got == reference,
+        "wall_seconds": wall,
+    })
+    return result
+
+
+# ---------------------------------------------------------------------------
+# Scenario 4: the pinned 2 -> 4 -> 2 autoscale demo
+# ---------------------------------------------------------------------------
+def bench_autoscale(*, quick: bool = False) -> dict:
+    from repro.api import RunSpec, run
+    from repro.elastic import (
+        AutoscalerPolicy,
+        ShardAutoscaler,
+        run_autoscaled_trace,
+        shard_scaled_service_time,
+    )
+    from repro.serving import ShardedSession
+    from repro.serving.service import ForecastService
+
+    result = run(RunSpec(dataset="pems-bay", model="pgt-dcrnn",
+                         batching="index", scale="tiny", seed=SEED,
+                         epochs=1))
+    test = result.artifacts.loaders.test
+    pool, _ = test.batch_at(np.arange(test.batch_size))
+    pool = pool.copy()
+
+    sess = ShardedSession(result.artifacts.model,
+                          result.artifacts.loaders.scaler,
+                          result.artifacts.dataset.graph,
+                          spec=result.spec, num_shards=2, num_standby=2)
+    svc = ForecastService(
+        sess, max_batch=8, max_wait=5e-4,
+        service_time=shard_scaled_service_time(sess, base=2e-3,
+                                               per_item=1e-3))
+    policy = AutoscalerPolicy(slo_p99=4.5e-3, min_shards=2, max_shards=4,
+                              scale_down_at=0.4, transition_seconds=0.02)
+    auto = ShardAutoscaler(sess, policy, svc.clock)
+    t0 = time.perf_counter()
+    report = run_autoscaled_trace(
+        svc, pool, auto, [(500.0, 3), (2200.0, 5), (500.0, 4)],
+        seed=SEED, tick_requests=40)
+    wall = time.perf_counter() - t0
+    return {
+        "slo_p99_ms": policy.slo_p99 * 1e3,
+        "segments_qps": [500.0, 2200.0, 500.0],
+        "shards_path": report.shards_path,
+        "requests": report.requests,
+        "deadline_misses": report.deadline_misses,
+        "slo_compliance": report.slo_compliance,
+        "events": [{"from": e.from_shards, "to": e.to_shards,
+                    "p99_ms": e.p99 * 1e3} for e in report.events],
+        "scale_up_convergence_ms": report.convergence_seconds[0] * 1e3
+            if report.convergence_seconds else None,
+        "scale_down_convergence_ms": report.convergence_seconds[1] * 1e3
+            if len(report.convergence_seconds) > 1 else None,
+        "standby_after": sess.standby,
+        "wall_seconds": wall,
+        "summary": report.summary(),
+    }
+
+
+# ---------------------------------------------------------------------------
+# Scenario 5: the capacity planner's picks
+# ---------------------------------------------------------------------------
+def bench_planner(*, quick: bool = False) -> dict:
+    from repro.datasets.catalog import get_spec
+    from repro.elastic import (
+        autoscaler_setpoints,
+        plan_serving,
+        plan_training,
+    )
+    from repro.training.perfmodel import TrainingPerfModel, pgt_dcrnn_perf
+
+    spec = get_spec("pems-bay")
+    perf = TrainingPerfModel(
+        spec, pgt_dcrnn_perf(spec.num_nodes, spec.horizon,
+                             spec.train_features), batch_size=64)
+    single = perf.run("dist-index", 1, epochs=10).total_seconds
+    train_plan = plan_training(perf, strategy="dist-index", epochs=10,
+                               total_budget_seconds=single * 0.75,
+                               worlds=(1, 2, 4, 8))
+
+    def service_time(batch, shards):
+        return (2e-3 + 1e-3 * batch) / shards
+
+    serve_plan = plan_serving(traffic_qps=2200.0, slo_p99=9e-3,
+                              service_time=service_time, max_batch=8)
+    setpoints = autoscaler_setpoints(low_qps=500.0, peak_qps=2200.0,
+                                     slo_p99=9e-3,
+                                     service_time=service_time, max_batch=8)
+    return {
+        "training": {
+            "budget_seconds": single * 0.75,
+            "world_size": train_plan.world_size,
+            "total_seconds": train_plan.total_seconds,
+            "gpu_seconds": train_plan.gpu_seconds,
+            "meets_budget": train_plan.meets_budget,
+        },
+        "serving": {
+            "traffic_qps": serve_plan.traffic_qps,
+            "slo_p99_ms": serve_plan.slo_p99 * 1e3,
+            "shards": serve_plan.shards,
+            "utilization": serve_plan.utilization,
+            "projected_latency_ms": serve_plan.projected_latency * 1e3,
+            "meets_slo": serve_plan.meets_slo,
+        },
+        "setpoints": {
+            "min_shards": setpoints.min_shards,
+            "max_shards": setpoints.max_shards,
+        },
+        "reshard_2_to_4_sim_seconds": perf.reshard_seconds(2, 4),
+    }
+
+
+def collect_elastic(*, quick: bool = False, label: str = "") -> dict:
+    """Measure the elastic scenario suite; returns the section dict."""
+    scenarios = {
+        "reshard_roundtrip": bench_reshard_roundtrip(quick=quick),
+        "reshard_fresh_match": bench_fresh_match(quick=quick),
+        "reshard_process_fabric": bench_process_fabric(quick=quick),
+        "autoscale_2_4_2": bench_autoscale(quick=quick),
+        "planner": bench_planner(quick=quick),
+    }
+    return {
+        "schema": ELASTIC_SCHEMA,
+        "label": label,
+        "created": time.strftime("%Y-%m-%dT%H:%M:%S"),
+        "config": {"seed": SEED, "quick": bool(quick),
+                   "fresh_match_atol": FRESH_MATCH_ATOL,
+                   "cores": _cores()},
+        "scenarios": scenarios,
+    }
+
+
+# ---------------------------------------------------------------------------
+# Snapshot plumbing (shared conventions with serve/dist/fault benches)
+# ---------------------------------------------------------------------------
+def validate_elastic(section: dict) -> None:
+    """Raise ``ValueError`` unless ``section`` is a valid elastic section."""
+    if not isinstance(section, dict) \
+            or section.get("schema") != ELASTIC_SCHEMA:
+        raise ValueError(f"not a {ELASTIC_SCHEMA} elastic section")
+    for key in ("created", "config", "scenarios"):
+        if key not in section:
+            raise ValueError(f"elastic section missing {key!r}")
+    scen = section["scenarios"]
+    rt = scen.get("reshard_roundtrip", {})
+    if "strategies" not in rt or not rt["strategies"]:
+        raise ValueError("reshard_roundtrip scenario missing strategies")
+    for name, s in rt["strategies"].items():
+        for field in ("roundtrip_bitwise", "reshard_wall_ms", "state_bytes"):
+            if field not in s:
+                raise ValueError(f"roundtrip strategy {name!r} missing "
+                                 f"{field!r}")
+    fm = scen.get("reshard_fresh_match", {})
+    if "worlds" not in fm or not fm["worlds"]:
+        raise ValueError("reshard_fresh_match scenario missing worlds")
+    for field in ("shards_path", "requests", "deadline_misses",
+                  "slo_compliance", "events"):
+        if field not in scen.get("autoscale_2_4_2", {}):
+            raise ValueError(f"autoscale scenario missing {field!r}")
+    pl = scen.get("planner", {})
+    for field in ("training", "serving", "setpoints",
+                  "reshard_2_to_4_sim_seconds"):
+        if field not in pl:
+            raise ValueError(f"planner scenario missing {field!r}")
+
+
+def merge_into_snapshot(section: dict, path: str | Path) -> Path:
+    """Write ``section`` as the ``elastic`` key of the snapshot, creating
+    a minimal (micro/training-empty) snapshot if none exists."""
+    from repro.profiling.bench import load_or_init_snapshot
+
+    validate_elastic(section)
+    path = Path(path)
+    data = load_or_init_snapshot(path, label=section.get("label", ""),
+                                 created=section["created"])
+    data["elastic"] = section
+    path.write_text(json.dumps(data, indent=2, sort_keys=False) + "\n")
+    return path
+
+
+def default_target(root: str | Path = ".") -> Path:
+    from benchmarks.serve_bench import default_target as _default
+    return _default(root)
+
+
+# ---------------------------------------------------------------------------
+# Diffing / gating
+# ---------------------------------------------------------------------------
+def check_regression(section: dict) -> list[str]:
+    """Failure messages for the section's own gates (empty = green).
+
+    Every gate is a determinism/equivalence pin, not a timing threshold,
+    so they hold at any core count; only the process-fabric parity check
+    is skipped where it cannot run (single-core boxes, quick mode)."""
+    validate_elastic(section)
+    failures = []
+    scen = section["scenarios"]
+    for name, s in scen["reshard_roundtrip"]["strategies"].items():
+        if not s["roundtrip_bitwise"]:
+            failures.append(
+                f"reshard round-trip under {name} diverged from the "
+                f"uninterrupted run (fixed-seed curves differ)")
+    atol = section["config"].get("fresh_match_atol", FRESH_MATCH_ATOL)
+    for world, s in scen["reshard_fresh_match"]["worlds"].items():
+        if s["max_abs_diff"] > atol:
+            failures.append(
+                f"resumed-at-world-{world} curve drifted "
+                f"{s['max_abs_diff']:g} from the fresh run "
+                f"(bound {atol:g})")
+    fabric = scen["reshard_process_fabric"]
+    if fabric.get("gate_applied") and not fabric.get("curve_bitwise_equal"):
+        failures.append("process-fabric resume of a resharded archive "
+                        "diverged from the sim fabric")
+    auto = scen["autoscale_2_4_2"]
+    if auto["shards_path"] != PINNED_SHARDS_PATH:
+        failures.append(
+            f"autoscale trace took path {auto['shards_path']} instead of "
+            f"the pinned {PINNED_SHARDS_PATH}")
+    if auto["deadline_misses"] != 32:
+        failures.append(
+            f"autoscale trace missed {auto['deadline_misses']} deadlines "
+            f"instead of the pinned 32 (all in the pre-scale-up tick)")
+    for key in ("scale_up_convergence_ms", "scale_down_convergence_ms"):
+        v = auto.get(key)
+        if v is None or not np.isfinite(v):
+            failures.append(f"autoscale {key} never converged ({v})")
+    pl = scen["planner"]
+    if not pl["training"]["meets_budget"]:
+        failures.append("training plan no longer meets its runtime budget")
+    if not pl["serving"]["meets_slo"]:
+        failures.append("serving plan no longer meets its latency SLO")
+    return failures
+
+
+def diff_elastic(old: dict, new: dict) -> dict:
+    """Headline-metric comparison between two snapshots.
+
+    The *new* snapshot must carry an elastic section; the old one may
+    predate the subsystem (e.g. ``BENCH_9.json``), in which case its
+    values are reported as ``None`` instead of failing the diff.
+    """
+    if "elastic" not in new:
+        raise ValueError("new snapshot has no elastic section")
+    validate_elastic(new["elastic"])
+    o = None
+    if "elastic" in old:
+        validate_elastic(old["elastic"])
+        o = old["elastic"]["scenarios"]
+    n = new["elastic"]["scenarios"]
+
+    def auto(field: str) -> dict:
+        return {"old": o["autoscale_2_4_2"][field] if o is not None
+                else None,
+                "new": n["autoscale_2_4_2"][field]}
+
+    def mean_reshard(scen) -> float:
+        ss = scen["reshard_roundtrip"]["strategies"].values()
+        return float(np.mean([s["reshard_wall_ms"] for s in ss]))
+
+    return {
+        "reshard_wall_ms": {
+            "old": mean_reshard(o) if o is not None else None,
+            "new": mean_reshard(n)},
+        "slo_compliance": auto("slo_compliance"),
+        "scale_up_convergence_ms": auto("scale_up_convergence_ms"),
+    }
+
+
+def _format_section(section: dict) -> str:
+    scen = section["scenarios"]
+    lines = [f"elastic suite "
+             f"({'quick' if section['config']['quick'] else 'full'}, "
+             f"{section['config']['cores']} cores)"]
+    for name, s in scen["reshard_roundtrip"]["strategies"].items():
+        lines.append(
+            f"  reshard_roundtrip[{name}]: 2->4->2 "
+            f"{'bitwise OK' if s['roundtrip_bitwise'] else 'BROKEN'}, "
+            f"{s['state_bytes']} state bytes in "
+            f"{s['reshard_wall_ms']:.1f} ms")
+    for world, s in scen["reshard_fresh_match"]["worlds"].items():
+        lines.append(f"  reshard_fresh_match[w{world}]: max diff "
+                     f"{s['max_abs_diff']:.2e} (bound "
+                     f"{scen['reshard_fresh_match']['atol']:g})")
+    fabric = scen["reshard_process_fabric"]
+    if fabric.get("skipped"):
+        lines.append(f"  reshard_process_fabric: gate skipped "
+                     f"({fabric['cores']} core(s))")
+    else:
+        lines.append(
+            f"  reshard_process_fabric: "
+            f"{'bitwise OK' if fabric['curve_bitwise_equal'] else 'BROKEN'}"
+            f" in {fabric['wall_seconds']:.1f} s")
+    auto = scen["autoscale_2_4_2"]
+    lines.append(f"  autoscale_2_4_2: {auto['summary']}, "
+                 f"{auto['deadline_misses']} misses, convergence up "
+                 f"{auto['scale_up_convergence_ms']:.1f} ms / down "
+                 f"{auto['scale_down_convergence_ms']:.1f} ms")
+    pl = scen["planner"]
+    verdict = ("meets budget" if pl["training"]["meets_budget"]
+               else "BEST EFFORT")
+    lines.append(
+        f"  planner: train world {pl['training']['world_size']} "
+        f"({verdict}), serve {pl['serving']['shards']} shards "
+        f"(rho {pl['serving']['utilization']:.2f}), setpoints "
+        f"[{pl['setpoints']['min_shards']}, {pl['setpoints']['max_shards']}]"
+        f", reshard 2->4 costs {pl['reshard_2_to_4_sim_seconds']:.1f} "
+        f"sim-s")
+    return "\n".join(lines)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="elastic_bench", description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter)
+    parser.add_argument("--quick", action="store_true",
+                        help="fast smoke mode: fewer strategies/worlds")
+    parser.add_argument("--out", type=Path, default=None,
+                        help="snapshot to merge the elastic section into "
+                             "(default: newest BENCH_<n>.json here)")
+    parser.add_argument("--label", default="",
+                        help="free-form note recorded in the section")
+    parser.add_argument("--diff", nargs=2, metavar=("OLD", "NEW"),
+                        help="compare two snapshots' elastic sections")
+    parser.add_argument("--fail-on-regression", action="store_true",
+                        help="exit 1 unless every reshard/autoscale/"
+                             "planner pin holds")
+    args = parser.parse_args(argv)
+
+    if args.diff:
+        old = json.loads(Path(args.diff[0]).read_text())
+        new = json.loads(Path(args.diff[1]).read_text())
+        for name, d in diff_elastic(old, new).items():
+            was = "(absent)" if d["old"] is None else f"{d['old']:.3f}"
+            print(f"  {name}: {was} -> {d['new']:.3f}")
+        return 0
+
+    section = collect_elastic(quick=args.quick, label=args.label)
+    print(_format_section(section))
+    target = args.out if args.out is not None else default_target()
+    merge_into_snapshot(section, target)
+    print(f"merged elastic section into {target}")
+    if args.fail_on_regression:
+        failures = check_regression(section)
+        for f in failures:
+            print(f"REGRESSION: {f}")
+        if failures:
+            return 1
+        print("regression gate green (bitwise round-trips + pinned "
+              "autoscale trace + planner budgets)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -103,6 +103,31 @@ class CommCostModel:
                 + total_bytes_all_ranks / self.fabric_aggregate_bw)
 
 
+def queueing_latency(service_seconds: float, utilization: float) -> float:
+    """Mean residence time of an M/M/1-style server: ``service / (1 -
+    rho)``.  Past saturation (``rho >= 1``) the queue grows without
+    bound, so the projection is ``inf`` — which is exactly the signal
+    the capacity planner uses to rule a fleet size out."""
+    if service_seconds < 0:
+        raise ValueError("service_seconds must be non-negative")
+    if utilization < 0:
+        raise ValueError("utilization must be non-negative")
+    if utilization >= 1.0:
+        return float("inf")
+    return service_seconds / (1.0 - utilization)
+
+
+def gpu_seconds(world: int, seconds: float) -> float:
+    """Accelerator-seconds a ``world``-rank run bills for ``seconds`` of
+    wall time — the cost axis that makes a faster-but-wider run
+    comparable to a slower-but-narrower one."""
+    if world < 1:
+        raise ValueError(f"world must be >= 1, got {world}")
+    if seconds < 0:
+        raise ValueError("seconds must be non-negative")
+    return float(world) * float(seconds)
+
+
 @dataclass
 class PFSModel:
     """Shared parallel-filesystem reads with load jitter."""

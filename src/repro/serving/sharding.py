@@ -100,6 +100,19 @@ class FailoverEvent:
     num_shards_after: int
 
 
+@dataclass(frozen=True)
+class ScaleEvent:
+    """One deliberate fleet resize (autoscaler- or operator-driven)."""
+
+    from_shards: int
+    to_shards: int
+    mode: str                   # "scale_up" | "scale_down"
+    seconds: float              # wall time to re-partition + replay state
+    at_request: int             # requests_served when the resize ran
+    standby_used: int           # spares consumed to cover added shards
+    standby_returned: int       # retired shards parked back as spares
+
+
 class ShardedSession:
     """Multi-worker serving session over a partitioned sensor graph.
 
@@ -157,11 +170,13 @@ class ShardedSession:
         self.fault_plan = fault_plan
         self._fault_fired: set[int] = set()
         self.failover_events: list[FailoverEvent] = []
+        self.scale_events: list[ScaleEvent] = []
         self.faults_dropped: list[str] = []
         self._ingest_log: deque = deque(maxlen=capacity)
         self.workers: list[ShardWorker] = [
             self._build_worker(s, np.flatnonzero(self.assignment == s))
             for s in range(self.num_shards)]
+        self._validate_ownership(self.workers)
         # Zero-copy halo exchange: every worker's own_window lives in one
         # shared-memory pool, so a peer consuming halo columns reads the
         # owner's materialised window *view* directly instead of forcing
@@ -306,6 +321,11 @@ class ShardedSession:
         dead = tuple(w.shard_id for w in self.workers if not w.alive)
         alive = [w for w in self.workers if w.alive]
         if self.standby >= len(dead):
+            # Promotion inherits the dead workers' ownership verbatim, so
+            # check it is still a partition *before* rebuilding onto it —
+            # building a worker on corrupt ownership would crash (or
+            # worse, merge) less legibly.
+            self._validate_ownership(self.workers)
             self.standby -= len(dead)
             for shard_id in dead:
                 old = self.workers[shard_id]
@@ -328,6 +348,7 @@ class ShardedSession:
             for w in self.workers:
                 self._replay_into(w)
             mode = "repartition"
+        self._validate_ownership(self.workers)
         # Fresh workers carry private scratch windows; fold them back
         # into one shared pool (and reset every cache stamp — replay
         # changed store contents without bumping the version).
@@ -343,6 +364,123 @@ class ShardedSession:
             return
         for values, ts in self._ingest_log:
             worker.store.ingest(values[worker.owned], ts)
+
+    @staticmethod
+    def _describe_nodes(ids: np.ndarray) -> str:
+        shown = ", ".join(str(int(i)) for i in ids[:8])
+        return shown + (", ..." if len(ids) > 8 else "")
+
+    def _validate_ownership(self, workers: list[ShardWorker]) -> None:
+        """Refuse any worker set that does not *partition* the sensors.
+
+        The merge paths (:meth:`predict`, :meth:`forecast_current`) write
+        ``out[:, :, w.owned]`` per shard, so an overlapping assignment
+        would let one shard silently overwrite another's forecast and a
+        gap would leave stale buffer contents in the output.  Every
+        worker-list rebuild (construction, failover, :meth:`scale_to`)
+        runs through this gate before the new fleet serves a request.
+        """
+        counts = np.zeros(self.num_nodes, dtype=np.int64)
+        for w in workers:
+            owned = np.asarray(w.owned)
+            if owned.size and (int(owned.min()) < 0
+                               or int(owned.max()) >= self.num_nodes):
+                raise ShapeError(
+                    f"shard {w.shard_id} claims sensors outside "
+                    f"[0, {self.num_nodes})")
+            np.add.at(counts, owned.astype(np.int64), 1)
+        dup = np.flatnonzero(counts > 1)
+        if dup.size:
+            raise ShapeError(
+                f"overlapping shard assignment: {dup.size} sensor(s) owned "
+                f"by more than one shard ({self._describe_nodes(dup)}); a "
+                f"double-served sensor lets one shard's merge silently "
+                f"overwrite another's forecast, so the partition is refused")
+        missing = np.flatnonzero(counts == 0)
+        if missing.size:
+            raise ShapeError(
+                f"incomplete shard assignment: {missing.size} sensor(s) "
+                f"owned by no shard ({self._describe_nodes(missing)}); "
+                f"their merged forecasts would be stale buffer contents")
+
+    # ------------------------------------------------------------------
+    # Elastic scaling: deliberate fleet resizes
+    # ------------------------------------------------------------------
+    def scale_to(self, num_shards: int, *,
+                 assignment: np.ndarray | None = None) -> ScaleEvent | None:
+        """Resize the fleet to ``num_shards`` workers, live.
+
+        The session first resolves any pending failures (a resize must
+        not mask a death), then re-partitions the graph — or adopts an
+        explicit ``assignment`` vector, which is validated to be a true
+        partition (no overlaps, no gaps) before any worker serves from
+        it — builds the new workers, and warms every store by replaying
+        the bounded observation log, exactly like a repartition failover.
+        Post-scale predictions therefore stay bitwise identical to the
+        pre-scale (and unsharded) session's for any window the log still
+        covers.
+
+        Standby accounting: a scale-up consumes spare replicas to cover
+        the added shards (capacity that was parked is now serving); a
+        scale-down parks retired workers back as spares, up to the
+        configured ``num_standby`` cap.
+
+        When the new worker count differs from the process group's world
+        size, a fresh simulated group is provisioned at the new world
+        (rank fleets are not resizable in place); byte accounting
+        restarts with it, and a custom fabric passed at construction is
+        replaced by the simulated one.
+
+        Returns the recorded :class:`ScaleEvent`, or ``None`` when the
+        fleet is already the requested size and no explicit assignment
+        was given.
+        """
+        self._ensure_healthy()
+        t0 = time.perf_counter()
+        new_num = int(num_shards)
+        if new_num < 1:
+            raise ValueError(f"cannot scale to {new_num} shards")
+        old_num = self.num_shards
+        if new_num == old_num and assignment is None:
+            return None
+        if assignment is None:
+            new_assignment = partition_graph(self.graph.weights, new_num)
+        else:
+            new_assignment = np.asarray(assignment, dtype=np.int64).ravel()
+            if new_assignment.shape != (self.num_nodes,):
+                raise ShapeError(
+                    f"assignment must map all {self.num_nodes} sensors, "
+                    f"got shape {np.asarray(assignment).shape}")
+        workers = [self._build_worker(s, np.flatnonzero(new_assignment == s))
+                   for s in range(new_num)]
+        self._validate_ownership(workers)
+        for w in workers:
+            self._replay_into(w)
+        standby_used = standby_returned = 0
+        if new_num > old_num:
+            standby_used = min(self.standby, new_num - old_num)
+            self.standby -= standby_used
+            mode = "scale_up"
+        elif new_num < old_num:
+            standby_returned = min(old_num - new_num,
+                                   self.num_standby - self.standby)
+            self.standby += standby_returned
+            mode = "scale_down"
+        else:
+            mode = "repartition"
+        self.num_shards = new_num
+        self.assignment = new_assignment
+        self.workers = workers
+        if self.comm.world_size != new_num:
+            self.comm = as_process_group(None, world_size=new_num)
+        self._rebuild_window_pool()
+        event = ScaleEvent(
+            from_shards=old_num, to_shards=new_num, mode=mode,
+            seconds=time.perf_counter() - t0,
+            at_request=self.requests_served,
+            standby_used=standby_used, standby_returned=standby_returned)
+        self.scale_events.append(event)
+        return event
 
     # ------------------------------------------------------------------
     # Streaming observations (scattered to owner shards)
@@ -530,6 +668,7 @@ class ShardedSession:
             "bytes_by_category": dict(self.comm.stats.bytes_by_category),
             "ops": self.comm.stats.ops,
             "failovers": len(self.failover_events),
+            "scale_events": len(self.scale_events),
             "standby_remaining": self.standby,
             "faults_dropped": list(self.faults_dropped),
         }

@@ -71,6 +71,19 @@ def save_checkpoint(path: str, model: Module, optimizer: Optimizer | None = None
                     arrays[f"sgd_v/{i}"] = optimizer._velocity[i]
     arrays["__meta__"] = np.frombuffer(
         json.dumps(meta).encode("utf-8"), dtype=np.uint8)
+    write_archive(path, arrays)
+
+
+def write_archive(path: str, arrays: dict[str, np.ndarray]) -> None:
+    """Atomically write a checkpoint archive of named arrays to ``path``.
+
+    The seam :func:`save_checkpoint` and the elastic resharder share: the
+    archive is staged through a ``tempfile`` in the destination directory
+    (same filesystem, so the final ``os.replace`` is a rename) and readers
+    can never observe a half-written file.  ``arrays`` must already carry
+    its ``__meta__`` record; this function serialises exactly what it is
+    given.
+    """
     # Stage in the destination directory so os.replace is an atomic rename
     # on the same filesystem.  np.savez writes to the open file object
     # directly, so it cannot append ".npz" to the temp name behind our back.

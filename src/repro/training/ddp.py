@@ -320,7 +320,8 @@ class DDPTrainer:
             if (self.checkpoint_every
                     and self.global_step % self.checkpoint_every == 0):
                 self.save_training_checkpoint(
-                    epoch=epoch, step=step + 1, losses=losses)
+                    epoch=epoch, step=step + 1, losses=losses,
+                    epoch_steps=steps)
         return float(np.mean(losses))
 
     def _charge_rank_compute(self, rank: int, batch: int) -> None:
@@ -331,7 +332,8 @@ class DDPTrainer:
     # ------------------------------------------------------------------
     def save_training_checkpoint(self, path: str | None = None, *,
                                  epoch: int | None = None, step: int = 0,
-                                 losses: list[float] | None = None) -> str:
+                                 losses: list[float] | None = None,
+                                 epoch_steps: int | None = None) -> str:
         """Atomically write a *resumable* checkpoint: model + optimizer
         slots plus the training cursor (epoch, step-in-epoch, the epoch's
         per-rank losses so far) and completed-epoch history.
@@ -339,7 +341,13 @@ class DDPTrainer:
         ``step`` is the number of steps of ``epoch`` already applied;
         everything needed to replay the rest of the run bitwise is in the
         archive — the samplers are pure functions of (seed, epoch), so no
-        RNG state needs to survive.
+        RNG state needs to survive.  ``epoch_steps`` (when known) records
+        the epoch's total step count, which lets the elastic resharder
+        distinguish an epoch-boundary cursor from a genuinely mid-epoch
+        one.  The per-rank ``batch_size`` is recorded too: together with
+        ``world_size`` it defines the *global batch*, the invariant
+        :func:`repro.elastic.reshard_checkpoint` preserves when it remaps
+        the cursor to a different world size.
         """
         from repro.training.checkpoint import save_checkpoint
 
@@ -352,6 +360,8 @@ class DDPTrainer:
             "global_step": int(self.global_step),
             "epoch_losses": [float(x) for x in (losses or [])],
             "world_size": int(self.world_size),
+            "batch_size": int(self.train_loader.batch_size),
+            "epoch_steps": None if epoch_steps is None else int(epoch_steps),
             "strategy": self.strategy.value,
             "shuffle": self.shuffle,
             "seed": self.seed,
@@ -399,7 +409,10 @@ class DDPTrainer:
                 f"{self.world_size}: gradient averaging over a different "
                 f"world changes every update, so a bitwise continuation "
                 f"is impossible — rebuild the trainer with world_size="
-                f"{state['world_size']} or restart from scratch")
+                f"{state['world_size']}, or re-partition the checkpoint "
+                f"to this world with repro.elastic.reshard_checkpoint "
+                f"(preserves the global batch; 1e-6 continuation where "
+                f"the shuffle allows)")
         for field_name, mine in (("strategy", self.strategy.value),
                                  ("shuffle", self.shuffle),
                                  ("seed", self.seed)):
@@ -408,6 +421,16 @@ class DDPTrainer:
                     f"checkpoint {field_name}={state[field_name]!r} does "
                     f"not match this trainer's {mine!r}; the data order "
                     f"diverges, so resuming cannot reproduce the run")
+        ckpt_batch = state.get("batch_size")
+        if (ckpt_batch is not None
+                and int(ckpt_batch) != int(self.train_loader.batch_size)):
+            raise ValueError(
+                f"checkpoint cursor was cut at a per-rank batch of "
+                f"{ckpt_batch} but this trainer's loader batches "
+                f"{self.train_loader.batch_size}: step boundaries (and "
+                f"the global batch of {int(ckpt_batch) * self.world_size}) "
+                f"would shift, so the continuation cannot reproduce the "
+                f"run — rebuild the loaders with batch_size={ckpt_batch}")
         load_checkpoint(path, self.model, self.optimizer)
         self.history = [DDPEpochRecord(**r) for r in state["history"]]
         self.global_step = int(state["global_step"])

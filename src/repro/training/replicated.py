@@ -59,6 +59,21 @@ class ReplicatedDDPTrainer:
         self._grad_bufs = [self.bucketer.make_buffers()
                            for _ in range(self.world_size)]
 
+    def load_checkpoint_params(self, path: str) -> None:
+        """Restore a training checkpoint's parameters into *every* replica.
+
+        The verification-mode analogue of DDP's recovery broadcast: rank
+        0 reads the archive, peers receive identical bits.  Checkpoint
+        parameter arrays are world-independent, so an archive written at
+        any world size — including one re-partitioned through
+        :func:`repro.elastic.reshard_checkpoint` — loads into any replica
+        count; :meth:`assert_replicas_in_sync` holds immediately after.
+        """
+        from repro.training.checkpoint import load_checkpoint
+
+        for replica in self.replicas:
+            load_checkpoint(path, replica)
+
     def _check_identical_init(self) -> None:
         ref = self.replicas[0].state_dict()
         for r, replica in enumerate(self.replicas[1:], start=1):

@@ -27,6 +27,7 @@ EXAMPLE_ARGS = {
     "fault_tolerance": dict(scale="tiny", epochs=1, world=2, crash_step=2,
                             requests=30),
     "gateway": dict(scale="tiny", epochs=1, requests=60),
+    "elastic": dict(scale="tiny", epochs=1, requests_per_tick=40),
 }
 
 TIMEOUT_SECONDS = 120

@@ -513,3 +513,89 @@ class TestGatewayBenchHarness:
         d = diff_gateway({"schema": "whatever"}, new)
         assert d["baseline_goodput_qps"]["old"] is None
         assert d["baseline_goodput_qps"]["new"] > 0
+
+
+# ---------------------------------------------------------------------------
+# Admission under membership churn (elastic resizes mid-stream)
+# ---------------------------------------------------------------------------
+class TestMembershipChurn:
+    """An autoscaler resize must be invisible to gateway clients: every
+    admitted request reaches a terminal status (no hung futures), answers
+    stay bitwise stable across memberships, and overflow sheds cleanly
+    with its reason recorded."""
+
+    def make_sharded_gateway(self, trained, **kw):
+        from repro.serving import ShardedSession
+        sess = ShardedSession(trained.artifacts.model,
+                              trained.artifacts.loaders.scaler,
+                              trained.artifacts.dataset.graph,
+                              spec=trained.spec, num_shards=2,
+                              num_standby=2)
+        kw.setdefault("clock", ManualClock())
+        kw.setdefault("max_batch", 8)
+        kw.setdefault("max_wait", 0.002)
+        kw.setdefault("service_time", lambda n: 4e-4 + 2e-4 * n)
+        kw.setdefault("tenants", ["ops", "research"])
+        return sess, build_gateway({"bay": sess}, **kw)
+
+    def test_admitted_requests_complete_across_resize(self, trained, pool):
+        sess, gw = self.make_sharded_gateway(trained)
+        before = [gw.submit("key-ops", "bay", pool[i]) for i in range(4)]
+        assert all(r.status == "admitted" for r in before)
+        event = sess.scale_to(4)                    # membership change
+        assert event.mode == "scale_up"
+        after = [gw.submit("key-research", "bay", pool[i])
+                 for i in range(4, 8)]
+        assert all(r.status == "admitted" for r in after)
+        done = gw.flush()
+        assert {r.request_id for r in done} == \
+            {r.request_id for r in before + after}
+        assert all(r.status == "ok" for r in done)
+        assert len(gw._pending) == 0                # no hung futures
+
+    def test_answers_bitwise_stable_across_memberships(self, trained, pool):
+        sess, gw = self.make_sharded_gateway(trained)
+        at2 = gw.request("key-ops", "bay", pool[0]).forecast.predictions
+        sess.scale_to(4)
+        at4 = gw.request("key-ops", "bay", pool[0]).forecast.predictions
+        sess.scale_to(2)
+        back = gw.request("key-ops", "bay", pool[0]).forecast.predictions
+        np.testing.assert_array_equal(at2, at4)
+        np.testing.assert_array_equal(at2, back)
+
+    def test_churn_overflow_sheds_cleanly(self, trained, pool):
+        """With a tiny queue, requests riding through a resize either
+        complete or shed with reason 'capacity' — never hang, never
+        half-complete."""
+        sess, gw = self.make_sharded_gateway(trained, max_queue_depth=3)
+        responses = [gw.submit("key-ops", "bay", pool[i % len(pool)])
+                     for i in range(3)]
+        sess.scale_to(4)
+        responses += [gw.submit("key-ops", "bay", pool[i % len(pool)])
+                      for i in range(3, 9)]
+        shed = [r for r in responses if r.status == "shed"]
+        admitted = [r for r in responses if r.status == "admitted"]
+        assert len(shed) + len(admitted) == len(responses)
+        assert shed and all(r.reason == "capacity" for r in shed)
+        done = gw.flush()
+        assert {r.request_id for r in done} == \
+            {r.request_id for r in admitted}
+        assert all(r.status == "ok" for r in done)
+        assert len(gw._pending) == 0
+        assert gw.stats.shed == len(shed)
+
+    def test_failover_during_stream_stays_terminal(self, trained, pool):
+        """Worker death (not just planned resize) between submits: the
+        lazy failover happens inside a dispatch and every future still
+        resolves."""
+        sess, gw = self.make_sharded_gateway(trained)
+        first = [gw.submit("key-ops", "bay", pool[i]) for i in range(3)]
+        sess.kill_worker(1)                         # unplanned churn
+        second = [gw.submit("key-ops", "bay", pool[i])
+                  for i in range(3, 6)]
+        done = gw.flush()
+        assert {r.request_id for r in done} == \
+            {r.request_id for r in first + second}
+        assert all(r.status == "ok" for r in done)
+        assert len(gw._pending) == 0
+        assert len(sess.failover_events) == 1
